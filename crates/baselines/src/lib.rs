@@ -1,0 +1,33 @@
+//! # nemo-baselines
+//!
+//! Every method the paper compares Nemo against (Sec. 5.2):
+//!
+//! | Paper name | Here | Kind |
+//! |---|---|---|
+//! | Snorkel [28] | [`methods::Method::Snorkel`] | vanilla IDP: random selection + standard learning |
+//! | Snorkel-Abs [9] | [`selectors::AbstainSelector`] | selection-only IDP |
+//! | Snorkel-Dis [9] | [`selectors::DisagreeSelector`] | selection-only IDP |
+//! | ImplyLoss-L [3] | [`implyloss::ImplyLossPipeline`] | contextualized-learning-only IDP |
+//! | US [20] | [`active::UncertaintyAcquisition`] | classic active learning |
+//! | BALD [12, 17] | [`active::BaldAcquisition`] | Bayesian active learning |
+//! | IWS-LSE [6] | [`iws::IwsLse`] | interactive weak supervision |
+//! | Active WeaSuL [5] | [`weasul::ActiveWeasul`] | AL-assisted label-model denoising |
+//!
+//! [`methods::Method`] is the unified entry point the benchmark harness
+//! uses: every method (including Nemo itself and its ablation variants)
+//! runs under the same evaluation protocol and returns a
+//! [`nemo_core::LearningCurve`].
+
+pub mod active;
+pub mod implyloss;
+pub mod iws;
+pub mod methods;
+pub mod selectors;
+pub mod weasul;
+
+pub use active::{ActiveLearning, BaldAcquisition, UncertaintyAcquisition};
+pub use implyloss::ImplyLossPipeline;
+pub use iws::IwsLse;
+pub use methods::{run_method, Method, RunSpec};
+pub use selectors::{AbstainSelector, DisagreeSelector};
+pub use weasul::ActiveWeasul;

@@ -1,0 +1,137 @@
+//! Criterion microbenchmarks of the hot kernels (DESIGN.md §4):
+//! SEU's per-iteration scoring (fast path vs naive reference), label-model
+//! fitting, TF-IDF transformation, distance point-to-all, and LF
+//! application. These quantify the engineering choices — most notably the
+//! inverted-index SEU fast path, whose naive counterpart is quadratic.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nemo_core::config::IdpConfig;
+use nemo_core::idp::{IdpSession, ModelOutputs, RandomSelector, SelectionView};
+use nemo_core::oracle::SimulatedUser;
+use nemo_core::pipeline::StandardPipeline;
+use nemo_core::seu::SeuSelector;
+use nemo_data::catalog::{build, DatasetName, Profile};
+use nemo_data::Dataset;
+use nemo_labelmodel::{GenerativeModel, LabelModel, TripletModel};
+use nemo_lf::{LabelMatrix, PrimitiveLf};
+use nemo_sparse::{DetRng, Distance};
+use nemo_text::TfIdf;
+
+fn prepared_session(ds: &Dataset) -> IdpSession<'_> {
+    let config = IdpConfig { n_iterations: 25, eval_every: 25, seed: 1, ..Default::default() };
+    let mut session = IdpSession::new(
+        ds,
+        config,
+        Box::new(RandomSelector),
+        Box::new(SimulatedUser::default()),
+        Box::new(StandardPipeline),
+    );
+    for _ in 0..25 {
+        session.step();
+    }
+    session
+}
+
+fn bench_seu(c: &mut Criterion) {
+    let ds = build(DatasetName::Amazon, Profile::Smoke, 3);
+    let session = prepared_session(&ds);
+    let excluded = vec![false; ds.train.n()];
+    let view = SelectionView {
+        ds: &ds,
+        lineage: session.lineage(),
+        matrix: session.matrix(),
+        outputs: session.outputs(),
+        excluded: &excluded,
+        iteration: 25,
+    };
+    let selector = SeuSelector::new();
+
+    c.bench_function("seu_fast_path_full_pool", |b| {
+        b.iter(|| {
+            let aggs = SeuSelector::primitive_aggregates(&view);
+            let mut best = f64::NEG_INFINITY;
+            for x in 0..ds.train.n() {
+                best = best.max(selector.expected_utility(&view, &aggs, x));
+            }
+            best
+        })
+    });
+
+    c.bench_function("seu_naive_100_examples", |b| {
+        b.iter(|| {
+            let mut best = f64::NEG_INFINITY;
+            for x in 0..100 {
+                best = best.max(selector.expected_utility_naive(&view, x));
+            }
+            best
+        })
+    });
+}
+
+fn bench_label_models(c: &mut Criterion) {
+    let ds = build(DatasetName::Amazon, Profile::Smoke, 3);
+    let session = prepared_session(&ds);
+    let matrix = session.matrix().clone();
+
+    c.bench_function("labelmodel_triplet_fit", |b| {
+        b.iter(|| TripletModel::default().fit(&matrix, [0.5, 0.5]))
+    });
+    c.bench_function("labelmodel_em_fit", |b| {
+        b.iter(|| GenerativeModel::default().fit(&matrix, [0.5, 0.5]))
+    });
+}
+
+fn bench_tfidf_and_distance(c: &mut Criterion) {
+    let ds = build(DatasetName::Amazon, Profile::Smoke, 3);
+    let norms = ds.train.features.sq_norms().to_vec();
+    c.bench_function("distance_point_to_all_cosine", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ds.train.n();
+            Distance::Cosine.sparse_point_to_all(ds.train.features.csr(), i, &norms)
+        })
+    });
+
+    // TF-IDF transform over synthetic id-sequences.
+    let mut rng = DetRng::new(9);
+    let docs: Vec<Vec<u32>> = (0..500)
+        .map(|_| (0..30).map(|_| rng.index(800) as u32).collect())
+        .collect();
+    let model = TfIdf::default().fit(&docs, 800);
+    c.bench_function("tfidf_transform_500_docs", |b| b.iter(|| model.transform(&docs)));
+}
+
+fn bench_lf_application(c: &mut Criterion) {
+    let ds = build(DatasetName::Amazon, Profile::Smoke, 3);
+    let mut rng = DetRng::new(11);
+    let lfs: Vec<PrimitiveLf> = (0..50)
+        .map(|_| {
+            PrimitiveLf::new(
+                rng.index(ds.n_primitives) as u32,
+                nemo_lf::Label::from_bool(rng.bernoulli(0.5)),
+            )
+        })
+        .collect();
+    c.bench_function("label_matrix_from_50_lfs", |b| {
+        b.iter_batched(
+            || lfs.clone(),
+            |lfs| LabelMatrix::from_lfs(&lfs, &ds.train.corpus),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_outputs_initial(c: &mut Criterion) {
+    let ds = build(DatasetName::Youtube, Profile::Smoke, 3);
+    c.bench_function("model_outputs_initial", |b| b.iter(|| ModelOutputs::initial(&ds)));
+}
+
+criterion_group!(
+    benches,
+    bench_seu,
+    bench_label_models,
+    bench_tfidf_and_distance,
+    bench_lf_application,
+    bench_outputs_initial
+);
+criterion_main!(benches);

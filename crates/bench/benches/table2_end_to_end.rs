@@ -1,0 +1,60 @@
+//! Table 2: end-to-end performance of Nemo vs every baseline across all
+//! six datasets, plus the Appendix B learning curves (emitted as
+//! `results/curves_table2.csv`).
+//!
+//! Paper claims to check (Sec. 5.2): Nemo consistently strongest among
+//! the IDP methods; ~+20% over Snorkel on average; IDP methods beat the
+//! other interactive schemes (US / BALD / IWS-LSE / AW).
+
+use nemo_baselines::Method;
+use nemo_bench::report::{grid_table, write_curves_csv};
+use nemo_bench::{run_grid, write_csv, BenchProtocol};
+use nemo_data::DatasetName;
+
+fn main() {
+    let protocol = BenchProtocol::from_env();
+    println!(
+        "Table 2 — end-to-end comparison (profile: {}, {} seeds, {} iterations, eval every {})",
+        protocol.profile.name(),
+        protocol.n_seeds,
+        protocol.n_iterations,
+        protocol.eval_every
+    );
+    let datasets: Vec<_> = DatasetName::ALL.iter().map(|&n| protocol.dataset(n)).collect();
+    let ds_refs: Vec<&_> = datasets.iter().collect();
+    let grid = run_grid(&Method::TABLE2, &ds_refs, &protocol);
+
+    let method_names: Vec<&str> = Method::TABLE2.iter().map(|m| m.name()).collect();
+    let ds_names: Vec<&str> = datasets.iter().map(|d| d.name.as_str()).collect();
+    grid_table(&grid, &method_names, &ds_names)
+        .print("Average learning-curve score (paper Table 2 layout):");
+
+    // Headline ratios the paper reports.
+    let mut nemo_vs_snorkel = Vec::new();
+    for ds in &ds_names {
+        let nemo = grid.cell("Nemo", ds).expect("nemo cell").score();
+        let snorkel = grid.cell("Snorkel", ds).expect("snorkel cell").score();
+        if snorkel > 0.0 {
+            nemo_vs_snorkel.push(nemo / snorkel - 1.0);
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 * 100.0;
+    println!(
+        "Nemo vs Snorkel: avg {:+.1}% (paper: +20% avg, up to +47%)",
+        avg(&nemo_vs_snorkel)
+    );
+
+    // CSV artifacts: summary scores and the full curves (Appendix B).
+    let mut rows = Vec::new();
+    for cell in &grid.cells {
+        rows.push(vec![
+            cell.dataset.clone(),
+            cell.method.to_string(),
+            format!("{:.4}", cell.score()),
+            format!("{:.4}", cell.std()),
+            format!("{:.4}", cell.final_score()),
+        ]);
+    }
+    write_csv("table2_end_to_end", &["dataset", "method", "score", "std", "final"], &rows);
+    write_curves_csv("curves_table2", &grid);
+}

@@ -1,0 +1,38 @@
+//! Table 4: Nemo component ablation.
+//!
+//! Remove either core component from Nemo and measure the drop:
+//! "No Data Selector" = random selection + contextualized learning;
+//! "No LF Contextualizer" = SEU selection + standard learning.
+//! Paper: removing the selector costs ~7% on average, the contextualizer
+//! ~3%; both components matter.
+
+use nemo_baselines::Method;
+use nemo_bench::report::grid_table;
+use nemo_bench::{run_grid, write_csv, BenchProtocol};
+use nemo_data::DatasetName;
+
+fn main() {
+    let protocol = BenchProtocol::from_env();
+    println!(
+        "Table 4 — Nemo component ablation (profile: {}, {} seeds)",
+        protocol.profile.name(),
+        protocol.n_seeds
+    );
+    let methods = [Method::Nemo, Method::ClOnly, Method::SeuOnly];
+    let datasets: Vec<_> = DatasetName::ALL.iter().map(|&n| protocol.dataset(n)).collect();
+    let ds_refs: Vec<&_> = datasets.iter().collect();
+    let grid = run_grid(&methods, &ds_refs, &protocol);
+    let method_names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+    let ds_names: Vec<&str> = datasets.iter().map(|d| d.name.as_str()).collect();
+    grid_table(&grid, &method_names, &ds_names).print("Nemo vs ablated variants (ClOnly = no data selector; SEU = no LF contextualizer):");
+    let mut rows = Vec::new();
+    for cell in &grid.cells {
+        rows.push(vec![
+            cell.dataset.clone(),
+            cell.method.to_string(),
+            format!("{:.4}", cell.score()),
+            format!("{:.4}", cell.std()),
+        ]);
+    }
+    write_csv("table4_component_ablation", &["dataset", "method", "score", "std"], &rows);
+}

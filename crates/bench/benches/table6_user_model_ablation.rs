@@ -1,0 +1,38 @@
+//! Table 6: SEU user-model ablation.
+//!
+//! Accuracy-weighted user model (Eq. 2) vs uniform pick probabilities.
+//! Paper: the accuracy weighting is critical; with uniform weights the
+//! per-example utilities cancel exactly and selection degenerates to
+//! random (the paper's Uniform column literally equals its Snorkel
+//! column on 5/6 datasets).
+
+use nemo_baselines::Method;
+use nemo_bench::report::grid_table;
+use nemo_bench::{run_grid, write_csv, BenchProtocol};
+use nemo_data::DatasetName;
+
+fn main() {
+    let protocol = BenchProtocol::from_env();
+    println!(
+        "Table 6 — SEU user-model ablation (profile: {}, {} seeds)",
+        protocol.profile.name(),
+        protocol.n_seeds
+    );
+    let methods = [Method::SeuOnly, Method::SeuUniformUserModel];
+    let datasets: Vec<_> = DatasetName::ALL.iter().map(|&n| protocol.dataset(n)).collect();
+    let ds_refs: Vec<&_> = datasets.iter().collect();
+    let grid = run_grid(&methods, &ds_refs, &protocol);
+    let method_names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+    let ds_names: Vec<&str> = datasets.iter().map(|d| d.name.as_str()).collect();
+    grid_table(&grid, &method_names, &ds_names).print("SEU (Eq. 2 accuracy-weighted) vs uniform user model:");
+    let mut rows = Vec::new();
+    for cell in &grid.cells {
+        rows.push(vec![
+            cell.dataset.clone(),
+            cell.method.to_string(),
+            format!("{:.4}", cell.score()),
+            format!("{:.4}", cell.std()),
+        ]);
+    }
+    write_csv("table6_user_model_ablation", &["dataset", "method", "score", "std"], &rows);
+}

@@ -1,0 +1,36 @@
+//! Table 7: SEU utility-function ablation.
+//!
+//! Drop either term of the Eq. 3 utility: "No Informativeness" keeps
+//! only the correctness factor; "No Correctness" keeps only the
+//! label-model uncertainty. Paper: both terms contribute.
+
+use nemo_baselines::Method;
+use nemo_bench::report::grid_table;
+use nemo_bench::{run_grid, write_csv, BenchProtocol};
+use nemo_data::DatasetName;
+
+fn main() {
+    let protocol = BenchProtocol::from_env();
+    println!(
+        "Table 7 — SEU utility-function ablation (profile: {}, {} seeds)",
+        protocol.profile.name(),
+        protocol.n_seeds
+    );
+    let methods = [Method::SeuOnly, Method::SeuNoInformativeness, Method::SeuNoCorrectness];
+    let datasets: Vec<_> = DatasetName::ALL.iter().map(|&n| protocol.dataset(n)).collect();
+    let ds_refs: Vec<&_> = datasets.iter().collect();
+    let grid = run_grid(&methods, &ds_refs, &protocol);
+    let method_names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+    let ds_names: Vec<&str> = datasets.iter().map(|d| d.name.as_str()).collect();
+    grid_table(&grid, &method_names, &ds_names).print("SEU (full Eq. 3) vs single-term utilities:");
+    let mut rows = Vec::new();
+    for cell in &grid.cells {
+        rows.push(vec![
+            cell.dataset.clone(),
+            cell.method.to_string(),
+            format!("{:.4}", cell.score()),
+            format!("{:.4}", cell.std()),
+        ]);
+    }
+    write_csv("table7_utility_ablation", &["dataset", "method", "score", "std"], &rows);
+}

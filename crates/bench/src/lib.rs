@@ -1,0 +1,21 @@
+//! # nemo-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (Sec. 5). Each `benches/` target is a standalone
+//! main (`harness = false`) built on three pieces:
+//!
+//! - [`protocol`] — the shared evaluation protocol (Sec. 5.1): iteration
+//!   budget, evaluation cadence, seed count, user threshold, and the
+//!   dataset scale profile (`NEMO_BENCH_PROFILE` = `smoke`/`quick`/`full`).
+//! - [`runner`] — parallel execution of (method × dataset × seed) grids
+//!   with aggregation into mean ± std summaries and averaged curves.
+//! - [`report`] — paper-style markdown tables on stdout and CSV artifacts
+//!   under `results/`.
+
+pub mod protocol;
+pub mod report;
+pub mod runner;
+
+pub use protocol::BenchProtocol;
+pub use report::{write_csv, Table};
+pub use runner::{run_grid, CellResult, GridResult};

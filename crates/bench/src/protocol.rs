@@ -1,0 +1,106 @@
+//! The shared evaluation protocol (paper Sec. 5.1).
+//!
+//! Defaults follow the paper: 50 interactive iterations, evaluation every
+//! 5 iterations, learning curves summarized by their mean (area under the
+//! curve), results averaged over independent seeded runs, simulated user
+//! threshold `t = 0.5`, MeTaL-style label model, logistic-regression end
+//! model. The `NEMO_BENCH_PROFILE` environment variable scales dataset
+//! sizes and seed counts so `cargo bench` finishes quickly by default.
+
+use nemo_baselines::RunSpec;
+use nemo_core::config::IdpConfig;
+use nemo_data::catalog;
+use nemo_data::{Dataset, DatasetName, Profile};
+
+/// Protocol parameters for a bench run.
+#[derive(Debug, Clone)]
+pub struct BenchProtocol {
+    /// Dataset scale profile.
+    pub profile: Profile,
+    /// Interactive iterations per run (paper: 50).
+    pub n_iterations: usize,
+    /// Evaluation cadence (paper: every 5).
+    pub eval_every: usize,
+    /// Independent seeded runs per cell (paper: 5).
+    pub n_seeds: usize,
+    /// Simulated-user accuracy threshold `t`.
+    pub user_threshold: f64,
+}
+
+impl BenchProtocol {
+    /// Protocol at a given profile: paper-faithful iteration counts, with
+    /// the seed count reduced outside the full profile.
+    pub fn at(profile: Profile) -> Self {
+        let n_seeds = match profile {
+            Profile::Smoke => 2,
+            Profile::Quick => 3,
+            Profile::Full => 5,
+        };
+        Self { profile, n_iterations: 50, eval_every: 5, n_seeds, user_threshold: 0.5 }
+    }
+
+    /// Read the profile from `NEMO_BENCH_PROFILE` (default `quick`).
+    pub fn from_env() -> Self {
+        Self::at(Profile::from_env())
+    }
+
+    /// The run spec for seed index `k` (seeds are deterministic
+    /// `1000 + k`, matching the paper's "5 runs with different random
+    /// initializations" — the dataset itself is held fixed per name).
+    pub fn spec(&self, seed_index: usize) -> RunSpec {
+        RunSpec {
+            idp: IdpConfig {
+                n_iterations: self.n_iterations,
+                eval_every: self.eval_every,
+                seed: 1000 + seed_index as u64,
+                ..Default::default()
+            },
+            user_threshold: self.user_threshold,
+            noisy_user: None,
+        }
+    }
+
+    /// Build a catalog dataset under this protocol's profile. The dataset
+    /// seed is a deterministic function of the name so every bench target
+    /// sees the same data.
+    pub fn dataset(&self, name: DatasetName) -> Dataset {
+        let seed = 0xD5_0000 + name.as_str().len() as u64 * 131 + name as u64;
+        catalog::build(name, self.profile, seed)
+    }
+
+    /// Seeds to run.
+    pub fn seeds(&self) -> Vec<usize> {
+        (0..self.n_seeds).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = BenchProtocol::at(Profile::Full);
+        assert_eq!(p.n_iterations, 50);
+        assert_eq!(p.eval_every, 5);
+        assert_eq!(p.n_seeds, 5);
+        assert_eq!(p.user_threshold, 0.5);
+    }
+
+    #[test]
+    fn specs_differ_only_by_seed() {
+        let p = BenchProtocol::at(Profile::Smoke);
+        let a = p.spec(0);
+        let b = p.spec(1);
+        assert_ne!(a.idp.seed, b.idp.seed);
+        assert_eq!(a.idp.n_iterations, b.idp.n_iterations);
+    }
+
+    #[test]
+    fn datasets_are_deterministic_per_name() {
+        let p = BenchProtocol::at(Profile::Smoke);
+        let a = p.dataset(DatasetName::Youtube);
+        let b = p.dataset(DatasetName::Youtube);
+        assert_eq!(a.train.labels, b.train.labels);
+    }
+}

@@ -1,0 +1,158 @@
+//! Paper-style report rendering: markdown tables on stdout, CSV files
+//! under `results/`.
+
+use crate::runner::GridResult;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple column-aligned table renderer.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as a markdown-style aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, &w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&fmt_row(&sep));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout with a title.
+    pub fn print(&self, title: &str) {
+        println!("\n{title}");
+        println!("{}", self.render());
+    }
+}
+
+/// Write rows as CSV under the workspace-level `results/<name>.csv`
+/// (creating the directory); best-effort — failures are reported to
+/// stderr but do not panic, so benches run in read-only checkouts too.
+/// Bench binaries execute with the package directory as cwd, so the
+/// path is anchored at the workspace root via `CARGO_MANIFEST_DIR`.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let dir_buf = std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    let dir: &Path = &dir_buf;
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+        writeln!(f, "{}", header.join(","))?;
+        for row in rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    };
+    if let Err(e) = write() {
+        eprintln!("[bench] could not write results/{name}.csv: {e}");
+    }
+}
+
+/// Render a grid as a paper-style table: one row per dataset, one column
+/// per method (scores are curve means; the paper's table format).
+pub fn grid_table(grid: &GridResult, methods: &[&str], datasets: &[&str]) -> Table {
+    let mut header = vec!["Dataset"];
+    header.extend(methods);
+    let mut table = Table::new(&header);
+    for &ds in datasets {
+        let mut row = vec![ds.to_string()];
+        for &m in methods {
+            let cell = grid.cell(m, ds);
+            row.push(match cell {
+                Some(c) => format!("{:.4}", c.score()),
+                None => "—".to_string(),
+            });
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Emit a grid's full mean curves as CSV (the Appendix B plots).
+pub fn write_curves_csv(name: &str, grid: &GridResult) {
+    let mut rows = Vec::new();
+    for cell in &grid.cells {
+        for &(iter, score) in &cell.mean_curve {
+            rows.push(vec![
+                cell.method.to_string(),
+                cell.dataset.clone(),
+                iter.to_string(),
+                format!("{score:.6}"),
+            ]);
+        }
+    }
+    write_csv(name, &["method", "dataset", "iteration", "score"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CellResult;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["Dataset", "Nemo"]);
+        t.row(vec!["Amazon".into(), "0.7674".into()]);
+        let s = t.render();
+        assert!(s.contains("| Amazon  | 0.7674 |"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_bad_row() {
+        let mut t = Table::new(&["A", "B"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn grid_table_fills_cells() {
+        let grid = GridResult {
+            cells: vec![CellResult {
+                method: "Nemo",
+                dataset: "Amazon".into(),
+                summaries: vec![0.7, 0.8],
+                finals: vec![0.75, 0.85],
+                mean_curve: vec![(5, 0.75)],
+            }],
+        };
+        let t = grid_table(&grid, &["Nemo", "Snorkel"], &["Amazon"]);
+        let s = t.render();
+        assert!(s.contains("0.7500"));
+        assert!(s.contains("—"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Parallel grid execution for the experiment harnesses.
+//!
+//! A "grid" is a set of (method × dataset × seed) runs. Seeds within one
+//! cell run in parallel via `crossbeam::scope`; cells run sequentially so
+//! progress output stays readable and memory stays bounded (each run only
+//! borrows the shared dataset).
+
+use crate::protocol::BenchProtocol;
+use nemo_baselines::{run_method, Method};
+use nemo_core::idp::LearningCurve;
+use nemo_data::Dataset;
+use nemo_sparse::stats::{mean, std_dev};
+
+/// Aggregated result of one (method, dataset) cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Method display name.
+    pub method: &'static str,
+    /// Dataset display name.
+    pub dataset: String,
+    /// Per-seed curve summaries (mean over the learning curve, the
+    /// paper's AUC-style score).
+    pub summaries: Vec<f64>,
+    /// Per-seed final scores.
+    pub finals: Vec<f64>,
+    /// Curves averaged across seeds: `(iteration, mean score)`.
+    pub mean_curve: Vec<(usize, f64)>,
+}
+
+impl CellResult {
+    /// Mean curve summary across seeds (the number reported in the
+    /// paper's tables).
+    pub fn score(&self) -> f64 {
+        mean(&self.summaries)
+    }
+
+    /// Standard deviation of the summary across seeds.
+    pub fn std(&self) -> f64 {
+        std_dev(&self.summaries)
+    }
+
+    /// Mean final score across seeds.
+    pub fn final_score(&self) -> f64 {
+        mean(&self.finals)
+    }
+}
+
+/// Results of a full grid, in run order.
+#[derive(Debug, Clone, Default)]
+pub struct GridResult {
+    /// One entry per (method, dataset) cell.
+    pub cells: Vec<CellResult>,
+}
+
+impl GridResult {
+    /// Find a cell by method and dataset name.
+    pub fn cell(&self, method: &str, dataset: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.method == method && c.dataset == dataset)
+    }
+}
+
+fn aggregate(method: Method, dataset: &str, curves: Vec<LearningCurve>) -> CellResult {
+    let summaries: Vec<f64> = curves.iter().map(LearningCurve::summary).collect();
+    let finals: Vec<f64> = curves.iter().map(LearningCurve::final_score).collect();
+    let mut mean_curve = Vec::new();
+    if let Some(first) = curves.first() {
+        for (pt, &(iter, _)) in first.points().iter().enumerate() {
+            let vals: Vec<f64> = curves.iter().map(|c| c.points()[pt].1).collect();
+            mean_curve.push((iter, mean(&vals)));
+        }
+    }
+    CellResult {
+        method: method.name(),
+        dataset: dataset.to_string(),
+        summaries,
+        finals,
+        mean_curve,
+    }
+}
+
+/// Run one (method, dataset) cell: all protocol seeds in parallel.
+pub fn run_cell(method: Method, ds: &Dataset, protocol: &BenchProtocol) -> CellResult {
+    let seeds = protocol.seeds();
+    let mut curves: Vec<Option<LearningCurve>> = vec![None; seeds.len()];
+    crossbeam::scope(|scope| {
+        for (slot, &seed_index) in curves.iter_mut().zip(&seeds) {
+            scope.spawn(move |_| {
+                let spec = protocol.spec(seed_index);
+                *slot = Some(run_method(method, ds, &spec));
+            });
+        }
+    })
+    .expect("bench worker panicked");
+    let curves: Vec<LearningCurve> = curves.into_iter().map(|c| c.expect("run completed")).collect();
+    aggregate(method, &ds.name, curves)
+}
+
+/// Run a full grid of methods × datasets, printing progress to stderr.
+pub fn run_grid(
+    methods: &[Method],
+    datasets: &[&Dataset],
+    protocol: &BenchProtocol,
+) -> GridResult {
+    let mut grid = GridResult::default();
+    for ds in datasets {
+        for &method in methods {
+            let started = std::time::Instant::now();
+            let cell = run_cell(method, ds, protocol);
+            eprintln!(
+                "[bench] {:<26} {:<8} score {:.4} ± {:.4}  ({:.1?})",
+                cell.method,
+                cell.dataset,
+                cell.score(),
+                cell.std(),
+                started.elapsed()
+            );
+            grid.cells.push(cell);
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_data::Profile;
+
+    fn tiny_protocol() -> BenchProtocol {
+        BenchProtocol {
+            profile: Profile::Smoke,
+            n_iterations: 6,
+            eval_every: 3,
+            n_seeds: 2,
+            user_threshold: 0.5,
+        }
+    }
+
+    #[test]
+    fn cell_runs_all_seeds() {
+        let protocol = tiny_protocol();
+        let ds = nemo_data::catalog::toy_text(3);
+        let cell = run_cell(Method::Snorkel, &ds, &protocol);
+        assert_eq!(cell.summaries.len(), 2);
+        assert_eq!(cell.mean_curve.len(), 2); // 6 iters / eval 3
+        assert!(cell.score() > 0.0);
+    }
+
+    #[test]
+    fn grid_indexing() {
+        let protocol = tiny_protocol();
+        let ds = nemo_data::catalog::toy_text(3);
+        let grid = run_grid(&[Method::Snorkel], &[&ds], &protocol);
+        assert!(grid.cell("Snorkel", "Toy").is_some());
+        assert!(grid.cell("Nemo", "Toy").is_none());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_determinism() {
+        let protocol = tiny_protocol();
+        let ds = nemo_data::catalog::toy_text(3);
+        let a = run_cell(Method::Snorkel, &ds, &protocol);
+        let b = run_cell(Method::Snorkel, &ds, &protocol);
+        assert_eq!(a.summaries, b.summaries);
+    }
+}

@@ -1,0 +1,287 @@
+//! The Nemo system facade (paper Sec. 4, Figure 4).
+//!
+//! [`NemoSystem`] is the end-to-end system: the SEU development-data
+//! selector plus the contextualized learning pipeline, wrapped in an
+//! interactive API shaped like the paper's frontend loop:
+//!
+//! 1. [`NemoSystem::suggest_example`] — the backend picks the next
+//!    development example.
+//! 2. The user (human or simulated) inspects it and writes an LF; the
+//!    caller passes it to [`NemoSystem::submit_lf`] (or
+//!    [`NemoSystem::skip`]).
+//! 3. Models are re-learned with development context; repeat.
+//!
+//! The primitive-based example explorer of Sec. 7
+//! ([`NemoSystem::explore_primitive`]) lets a user inspect a random sample
+//! of other examples containing a candidate primitive before committing to
+//! an LF.
+
+use crate::config::{ContextualizerConfig, IdpConfig};
+use crate::idp::{LearningCurve, ModelOutputs, SelectionView, Selector};
+use crate::oracle::User;
+use crate::pipeline::{ContextualizedPipeline, LearningPipeline};
+use crate::seu::SeuSelector;
+use nemo_data::Dataset;
+use nemo_lf::{LabelMatrix, LfColumn, Lineage, PrimitiveLf};
+use nemo_sparse::DetRng;
+
+/// The end-to-end Nemo system (SEU + contextualized learning).
+pub struct NemoSystem<'a> {
+    ds: &'a Dataset,
+    config: IdpConfig,
+    selector: SeuSelector,
+    pipeline: ContextualizedPipeline,
+    lineage: Lineage,
+    matrix: LabelMatrix,
+    excluded: Vec<bool>,
+    outputs: ModelOutputs,
+    rng: DetRng,
+    iteration: usize,
+    pending: Option<usize>,
+}
+
+impl<'a> NemoSystem<'a> {
+    /// Create a Nemo instance over a dataset with default components.
+    pub fn new(ds: &'a Dataset, config: IdpConfig) -> Self {
+        Self::with_components(ds, config, SeuSelector::new(), ContextualizerConfig::default())
+    }
+
+    /// Create with explicit SEU/contextualizer settings (ablations).
+    pub fn with_components(
+        ds: &'a Dataset,
+        config: IdpConfig,
+        selector: SeuSelector,
+        ctx_config: ContextualizerConfig,
+    ) -> Self {
+        let rng = DetRng::new(config.seed ^ 0x4e40);
+        Self {
+            ds,
+            selector,
+            pipeline: ContextualizedPipeline::new(ctx_config),
+            lineage: Lineage::new(),
+            matrix: LabelMatrix::new(ds.train.n()),
+            excluded: vec![false; ds.train.n()],
+            outputs: ModelOutputs::initial(ds),
+            rng,
+            iteration: 0,
+            pending: None,
+            config,
+        }
+    }
+
+    /// The dataset in use.
+    pub fn dataset(&self) -> &Dataset {
+        self.ds
+    }
+
+    /// Collected lineage.
+    pub fn lineage(&self) -> &Lineage {
+        &self.lineage
+    }
+
+    /// Latest model outputs.
+    pub fn outputs(&self) -> &ModelOutputs {
+        &self.outputs
+    }
+
+    /// Completed iterations.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// IDP stage 1: suggest the next development example. Returns `None`
+    /// when the pool is exhausted. The example is reserved until
+    /// [`NemoSystem::submit_lf`] or [`NemoSystem::skip`] is called.
+    pub fn suggest_example(&mut self) -> Option<usize> {
+        assert!(self.pending.is_none(), "previous suggestion not yet resolved");
+        let view = SelectionView {
+            ds: self.ds,
+            lineage: &self.lineage,
+            matrix: &self.matrix,
+            outputs: &self.outputs,
+            excluded: &self.excluded,
+            iteration: self.iteration,
+        };
+        let x = self.selector.select(&view, &mut self.rng)?;
+        self.excluded[x] = true;
+        self.pending = Some(x);
+        Some(x)
+    }
+
+    /// IDP stages 2–3: record an LF written from the pending example and
+    /// re-learn the models.
+    pub fn submit_lf(&mut self, lf: PrimitiveLf) {
+        let dev = self.pending.take().expect("submit_lf without a pending suggestion") as u32;
+        assert!(
+            (lf.z as usize) < self.ds.n_primitives,
+            "LF primitive {} outside the domain",
+            lf.z
+        );
+        self.lineage.record(lf, dev, self.iteration as u32);
+        self.matrix.push(LfColumn::from_lf(&lf, &self.ds.train.corpus));
+        self.relearn();
+    }
+
+    /// Decline to write an LF for the pending example; models advance
+    /// unchanged (the iteration is still consumed, as in the paper's
+    /// fixed-budget protocol).
+    pub fn skip(&mut self) {
+        self.pending.take().expect("skip without a pending suggestion");
+        self.relearn();
+    }
+
+    fn relearn(&mut self) {
+        let iter_seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.iteration as u64);
+        self.outputs =
+            self.pipeline
+                .learn(&self.lineage, &self.matrix, self.ds, &self.config, iter_seed);
+        self.iteration += 1;
+    }
+
+    /// Sec. 7 example explorer: a random sample of up to `k` training
+    /// examples containing primitive `z` (so the user can judge how well a
+    /// candidate LF generalizes before creating it).
+    pub fn explore_primitive(&mut self, z: u32, k: usize) -> Vec<u32> {
+        let postings = self.ds.train.corpus.index().postings(z);
+        if postings.len() <= k {
+            return postings.to_vec();
+        }
+        let picks = self.rng.sample_indices(postings.len(), k);
+        picks.into_iter().map(|i| postings[i]).collect()
+    }
+
+    /// Current test score under the dataset metric.
+    pub fn test_score(&self) -> f64 {
+        self.ds.metric.score(&self.outputs.test_pred, &self.ds.test.labels)
+    }
+
+    /// Drive the full interactive loop with a (simulated) user for the
+    /// configured number of iterations, evaluating on the paper's cadence.
+    pub fn run_with_user(&mut self, user: &mut dyn User) -> LearningCurve {
+        let mut curve = LearningCurve::default();
+        for t in 0..self.config.n_iterations {
+            match self.suggest_example() {
+                Some(x) => {
+                    let lfs = if self.config.lfs_per_iteration <= 1 {
+                        user.provide_lf(x, self.ds, &mut self.rng).into_iter().collect()
+                    } else {
+                        user.provide_lfs(x, self.config.lfs_per_iteration, self.ds, &mut self.rng)
+                    };
+                    if lfs.is_empty() {
+                        self.skip();
+                    } else {
+                        // Multi-LF submissions share the pending example.
+                        let dev = self.pending.take().expect("pending") as u32;
+                        for lf in lfs {
+                            self.lineage.record(lf, dev, self.iteration as u32);
+                            self.matrix.push(LfColumn::from_lf(&lf, &self.ds.train.corpus));
+                        }
+                        self.relearn();
+                    }
+                }
+                None => {
+                    // Pool exhausted: keep evaluating the frozen model.
+                    self.iteration += 1;
+                }
+            }
+            if (t + 1) % self.config.eval_every == 0 {
+                curve.push(t + 1, self.test_score());
+            }
+        }
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SimulatedUser;
+    use nemo_data::catalog::toy_text;
+    use nemo_lf::Label;
+
+    fn cfg(n: usize, seed: u64) -> IdpConfig {
+        IdpConfig { n_iterations: n, eval_every: 5, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn interactive_loop_suggest_submit() {
+        let ds = toy_text(1);
+        let mut nemo = NemoSystem::new(&ds, cfg(10, 1));
+        let x = nemo.suggest_example().expect("pool non-empty");
+        let prims = ds.train.corpus.primitives_of(x);
+        let lf = PrimitiveLf::new(prims[0], Label::Pos);
+        nemo.submit_lf(lf);
+        assert_eq!(nemo.lineage().len(), 1);
+        assert_eq!(nemo.iteration(), 1);
+        assert_eq!(nemo.lineage().dev_example(0), x as u32);
+    }
+
+    #[test]
+    fn skip_consumes_iteration() {
+        let ds = toy_text(1);
+        let mut nemo = NemoSystem::new(&ds, cfg(10, 2));
+        nemo.suggest_example().unwrap();
+        nemo.skip();
+        assert_eq!(nemo.lineage().len(), 0);
+        assert_eq!(nemo.iteration(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pending")]
+    fn submit_without_suggest_panics() {
+        let ds = toy_text(1);
+        let mut nemo = NemoSystem::new(&ds, cfg(10, 3));
+        nemo.submit_lf(PrimitiveLf::new(0, Label::Pos));
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet resolved")]
+    fn double_suggest_panics() {
+        let ds = toy_text(1);
+        let mut nemo = NemoSystem::new(&ds, cfg(10, 4));
+        nemo.suggest_example().unwrap();
+        nemo.suggest_example();
+    }
+
+    #[test]
+    fn explorer_returns_covered_examples() {
+        let ds = toy_text(1);
+        let mut nemo = NemoSystem::new(&ds, cfg(10, 5));
+        // Find a reasonably common primitive.
+        let z = (0..ds.n_primitives as u32)
+            .max_by_key(|&z| ds.train.corpus.index().df(z))
+            .unwrap();
+        let sample = nemo.explore_primitive(z, 5);
+        assert!(sample.len() <= 5);
+        assert!(!sample.is_empty());
+        for &i in &sample {
+            assert!(ds.train.corpus.contains(i as usize, z));
+        }
+    }
+
+    #[test]
+    fn run_with_simulated_user_learns() {
+        let ds = toy_text(1);
+        let mut nemo = NemoSystem::new(&ds, cfg(15, 6));
+        let mut user = SimulatedUser::default();
+        let curve = nemo.run_with_user(&mut user);
+        assert_eq!(curve.points().len(), 3);
+        assert!(curve.final_score() > 0.55, "final {}", curve.final_score());
+        assert!(nemo.outputs().chosen_p.is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = toy_text(1);
+        let run = |seed| {
+            let mut nemo = NemoSystem::new(&ds, cfg(8, seed));
+            let mut user = SimulatedUser::default();
+            nemo.run_with_user(&mut user).points().to_vec()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

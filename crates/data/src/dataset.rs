@@ -1,0 +1,275 @@
+//! Core dataset types.
+//!
+//! A [`Dataset`] is the unit the IDP protocol runs on: an unlabeled
+//! training split (ground-truth labels are present but only the simulated
+//! user / oracle may read them), a labeled validation split (hyperparameter
+//! selection, e.g. the contextualizer's percentile `p`), and a held-out
+//! test split for the learning curves. Each split carries feature vectors
+//! (TF-IDF or dense embeddings) and a [`PrimitiveCorpus`] over the shared
+//! primitive domain `Z`.
+
+use nemo_lf::{Label, Metric, PrimitiveCorpus};
+use nemo_sparse::{CsrMatrix, DenseMatrix, Distance, SparseVec};
+
+/// Feature vectors for one split. The canonical storage is CSR (sparse);
+/// dense features (the VG substitute's embeddings) additionally keep the
+/// dense form so distance kernels can use the cheaper dense path.
+#[derive(Debug, Clone)]
+pub struct Features {
+    csr: CsrMatrix,
+    dense: Option<DenseMatrix>,
+    sq_norms: Vec<f64>,
+}
+
+impl Features {
+    /// Wrap a sparse feature matrix.
+    pub fn from_csr(csr: CsrMatrix) -> Self {
+        let sq_norms = csr.row_sq_norms();
+        Self { csr, dense: None, sq_norms }
+    }
+
+    /// Wrap dense features, keeping a CSR mirror for model code that
+    /// consumes sparse rows uniformly.
+    pub fn from_dense(dense: DenseMatrix) -> Self {
+        let rows: Vec<SparseVec> = dense
+            .rows()
+            .map(|r| {
+                let pairs: Vec<(u32, f32)> = r
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v != 0.0)
+                    .map(|(i, &v)| (i as u32, v))
+                    .collect();
+                SparseVec::from_pairs(pairs, dense.n_cols())
+            })
+            .collect();
+        let csr = CsrMatrix::from_rows(&rows, dense.n_cols());
+        let sq_norms = csr.row_sq_norms();
+        Self { csr, dense: Some(dense), sq_norms }
+    }
+
+    /// Number of examples.
+    pub fn n(&self) -> usize {
+        self.csr.n_rows()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.csr.n_cols()
+    }
+
+    /// Sparse view (always available).
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.csr
+    }
+
+    /// Dense view, if the features were constructed dense.
+    pub fn dense(&self) -> Option<&DenseMatrix> {
+        self.dense.as_ref()
+    }
+
+    /// Cached squared row norms.
+    pub fn sq_norms(&self) -> &[f64] {
+        &self.sq_norms
+    }
+
+    /// Distances from example `pivot` (within this split) to every example
+    /// of this split.
+    pub fn point_to_all(&self, dist: Distance, pivot: usize) -> Vec<f64> {
+        match &self.dense {
+            Some(d) => dist.dense_point_to_all(d, pivot),
+            None => dist.sparse_point_to_all(&self.csr, pivot, &self.sq_norms),
+        }
+    }
+
+    /// Distances from example `pivot` of *this* split to every example of
+    /// `other` (same feature space; used to refine LFs on valid/test).
+    pub fn point_to_other(&self, dist: Distance, pivot: usize, other: &Features) -> Vec<f64> {
+        match (&self.dense, &other.dense) {
+            (Some(d_self), Some(d_other)) => dist.dense_row_to_all(d_self.row(pivot), d_other),
+            _ => {
+                let row = self.csr.row(pivot);
+                dist.sparse_row_to_all(&row, self.sq_norms[pivot], &other.csr, &other.sq_norms)
+            }
+        }
+    }
+}
+
+/// One split of a dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Ground-truth labels. For the training split these are *oracle-only*:
+    /// IDP methods never read them directly; the simulated user does.
+    pub labels: Vec<Label>,
+    /// Feature vectors.
+    pub features: Features,
+    /// Primitive sets + inverted index over the shared domain `Z`.
+    pub corpus: PrimitiveCorpus,
+    /// Generator metadata: latent cluster of each example (used only by
+    /// analysis benches such as Fig. 3/6, never by the methods).
+    pub clusters: Vec<u32>,
+}
+
+impl Split {
+    /// Number of examples.
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Empirical fraction of positive labels.
+    pub fn pos_frac(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&l| l == Label::Pos).count() as f64 / self.labels.len() as f64
+    }
+
+    /// Internal consistency check (sizes line up across fields).
+    pub fn validate(&self) {
+        assert_eq!(self.labels.len(), self.features.n(), "labels vs features");
+        assert_eq!(self.labels.len(), self.corpus.len(), "labels vs corpus");
+        assert_eq!(self.labels.len(), self.clusters.len(), "labels vs clusters");
+    }
+}
+
+/// A complete dataset: three splits over a shared primitive domain.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Display name ("Amazon", "SMS", …).
+    pub name: String,
+    /// Evaluation metric (accuracy; F1 for the imbalanced SMS task).
+    pub metric: Metric,
+    /// Unlabeled-for-methods training split (the IDP pool `U`).
+    pub train: Split,
+    /// Labeled validation split (hyperparameter selection).
+    pub valid: Split,
+    /// Held-out test split (learning curves).
+    pub test: Split,
+    /// Size of the primitive domain `Z`.
+    pub n_primitives: usize,
+    /// Display name per primitive id (token or object tag).
+    pub primitive_names: Vec<String>,
+    /// Sorted primitive ids of class-indicative "lexicon" entries the
+    /// simulated user may consult (paper Appendix C); empty when the task
+    /// has no lexicon.
+    pub lexicon: Vec<u32>,
+    /// Class prior `P(y = +1)` estimated from the validation labels
+    /// (the label prior the SEU user model uses).
+    pub class_prior_pos: f64,
+}
+
+impl Dataset {
+    /// Validate cross-split invariants; panics on inconsistency.
+    pub fn validate(&self) {
+        self.train.validate();
+        self.valid.validate();
+        self.test.validate();
+        assert_eq!(self.train.corpus.n_primitives(), self.n_primitives);
+        assert_eq!(self.valid.corpus.n_primitives(), self.n_primitives);
+        assert_eq!(self.test.corpus.n_primitives(), self.n_primitives);
+        assert_eq!(self.primitive_names.len(), self.n_primitives);
+        for w in self.lexicon.windows(2) {
+            assert!(w[0] < w[1], "lexicon must be sorted unique");
+        }
+        if let Some(&max) = self.lexicon.last() {
+            assert!((max as usize) < self.n_primitives);
+        }
+        assert!((0.0..=1.0).contains(&self.class_prior_pos));
+    }
+
+    /// The class prior as a `[P(y=−1), P(y=+1)]` array.
+    pub fn prior(&self) -> [f64; 2] {
+        [1.0 - self.class_prior_pos, self.class_prior_pos]
+    }
+
+    /// Display name of primitive `z`.
+    pub fn primitive_name(&self, z: u32) -> &str {
+        &self.primitive_names[z as usize]
+    }
+
+    /// Whether primitive `z` is in the lexicon.
+    pub fn in_lexicon(&self, z: u32) -> bool {
+        self.lexicon.binary_search(&z).is_ok()
+    }
+
+    /// One-line statistics row (Table 1): name, #train, #valid, #test.
+    pub fn stats_row(&self) -> (String, usize, usize, usize) {
+        (self.name.clone(), self.train.n(), self.valid.n(), self.test.n())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_sparse::DenseMatrix;
+
+    fn tiny_features_sparse() -> Features {
+        let rows = vec![
+            SparseVec::from_pairs(vec![(0, 1.0)], 3),
+            SparseVec::from_pairs(vec![(1, 1.0)], 3),
+        ];
+        Features::from_csr(CsrMatrix::from_rows(&rows, 3))
+    }
+
+    #[test]
+    fn features_from_dense_mirrors_csr() {
+        let d = DenseMatrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 0.0, 0.0]]);
+        let f = Features::from_dense(d);
+        assert_eq!(f.n(), 2);
+        assert_eq!(f.dim(), 3);
+        assert_eq!(f.csr().row(0).nnz(), 2);
+        assert_eq!(f.csr().row(1).nnz(), 0);
+        assert!(f.dense().is_some());
+    }
+
+    #[test]
+    fn dense_and_sparse_distances_agree() {
+        let d = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let fd = Features::from_dense(d);
+        // Rebuild as pure sparse.
+        let fs = Features::from_csr(fd.csr().clone());
+        for dist in [Distance::Cosine, Distance::Euclidean] {
+            let a = fd.point_to_all(dist, 2);
+            let b = fs.point_to_all(dist, 2);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn point_to_other_cross_split() {
+        let f1 = tiny_features_sparse();
+        let f2 = tiny_features_sparse();
+        let d = f1.point_to_other(Distance::Cosine, 0, &f2);
+        assert!(d[0].abs() < 1e-9); // identical vector
+        assert!((d[1] - 1.0).abs() < 1e-9); // orthogonal
+    }
+
+    #[test]
+    fn split_pos_frac() {
+        let split = Split {
+            labels: vec![Label::Pos, Label::Neg, Label::Pos, Label::Pos],
+            features: {
+                let rows: Vec<SparseVec> = (0..4).map(|_| SparseVec::zeros(2)).collect();
+                Features::from_csr(CsrMatrix::from_rows(&rows, 2))
+            },
+            corpus: PrimitiveCorpus::new(vec![vec![]; 4], 2),
+            clusters: vec![0; 4],
+        };
+        split.validate();
+        assert!((split.pos_frac() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels vs features")]
+    fn split_validate_catches_mismatch() {
+        let split = Split {
+            labels: vec![Label::Pos],
+            features: tiny_features_sparse(),
+            corpus: PrimitiveCorpus::new(vec![vec![]], 2),
+            clusters: vec![0],
+        };
+        split.validate();
+    }
+}

@@ -1,0 +1,27 @@
+//! # nemo-data
+//!
+//! Dataset substrate: the [`Dataset`]/[`Split`]/[`Features`] abstraction
+//! plus the synthetic generators that substitute for the paper's six
+//! evaluation datasets (Table 1). See DESIGN.md §2 for the substitution
+//! rationale: the generators plant exactly the cluster-locality structure
+//! (Figures 2–3, Example 1.1) that the paper's methods exploit.
+//!
+//! Layout:
+//! - [`dataset`] — core types ([`Dataset`], [`Split`], [`Features`]).
+//! - [`mixture`] — the shared cluster-mixture generative process.
+//! - [`textgen`] — text datasets (sentiment & spam) through the full
+//!   tokenize → vocab → TF-IDF pipeline.
+//! - [`scenegen`] — Visual-Genome-like scenes: object-annotation
+//!   primitives with dense embedding features.
+//! - [`catalog`] — named dataset specs matching Table 1, with scale
+//!   profiles for fast benchmarking.
+
+pub mod catalog;
+pub mod dataset;
+pub mod mixture;
+pub mod scenegen;
+pub mod textgen;
+
+pub use catalog::{DatasetName, Profile};
+pub use dataset::{Dataset, Features, Split};
+pub use mixture::MixtureConfig;

@@ -1,0 +1,383 @@
+//! Text dataset generation: cluster-mixture process → readable token
+//! streams → the full tokenize/vocab/TF-IDF pipeline → [`Dataset`].
+//!
+//! Indicator tokens are given curated human-readable names ("great",
+//! "terrible", "delicious", …) so examples and LF printouts look like the
+//! paper's keyword LFs; background/shared tokens keep synthetic names.
+//! The string round-trip is intentional: it exercises the same
+//! vocabulary-construction and featurization code paths a real corpus
+//! would.
+
+use crate::dataset::{Dataset, Features, Split};
+use crate::mixture::{MixDoc, MixtureConfig, MixtureModel};
+use nemo_lf::{Label, Metric, PrimitiveCorpus};
+use nemo_sparse::DetRng;
+use nemo_text::{TfIdf, Vocab};
+
+/// Curated positive-sentiment indicator names.
+pub const POS_WORDS: &[&str] = &[
+    "great", "perfect", "delicious", "funny", "excellent", "amazing", "love", "wonderful",
+    "fantastic", "awesome", "best", "enjoyable", "fresh", "crisp", "reliable", "fast",
+    "beautiful", "comfy", "tasty", "brilliant", "smooth", "sturdy", "charming", "gripping",
+    "vivid", "generous", "friendly", "cozy", "superb", "flawless",
+];
+
+/// Curated negative-sentiment indicator names.
+pub const NEG_WORDS: &[&str] = &[
+    "terrible", "awful", "bland", "boring", "broken", "horrible", "worst", "disappointing",
+    "stale", "slow", "cheap", "flimsy", "rude", "dirty", "noisy", "predictable", "soggy",
+    "defective", "useless", "annoying", "greasy", "dull", "clunky", "cramped", "leaky",
+    "tasteless", "sloppy", "shallow", "overpriced", "buggy",
+];
+
+/// Curated spam-indicator names (positive class = spam).
+pub const SPAM_WORDS: &[&str] = &[
+    "free", "win", "winner", "prize", "cash", "claim", "urgent", "offer", "click",
+    "subscribe", "txt", "congratulations", "guaranteed", "bonus", "discount", "deal",
+    "unlock", "reward", "exclusive", "limited",
+];
+
+/// Curated ham-indicator names (negative class = legitimate message).
+pub const HAM_WORDS: &[&str] = &[
+    "meeting", "tomorrow", "thanks", "dinner", "home", "love", "later", "sorry", "call",
+    "lunch", "okay", "morning", "night", "week", "friend", "family", "work", "school",
+    "movie", "game",
+];
+
+/// Specification of a synthetic text dataset.
+#[derive(Debug, Clone)]
+pub struct TextGenSpec {
+    /// Display name.
+    pub name: String,
+    /// Evaluation metric.
+    pub metric: Metric,
+    /// The underlying mixture process.
+    pub mixture: MixtureConfig,
+    /// Split sizes.
+    pub n_train: usize,
+    /// Validation size.
+    pub n_valid: usize,
+    /// Test size.
+    pub n_test: usize,
+    /// Whether the simulated user has a lexicon for this task (the paper
+    /// uses an opinion lexicon for sentiment; none for spam/VG).
+    pub expose_lexicon: bool,
+    /// Primitive-domain document-frequency bounds `(min_df, max_df_frac)`:
+    /// tokens outside them stay in the TF-IDF features but are excluded
+    /// from the LF primitive domain `Z`. Standard practice for keyword-LF
+    /// families — stopword-frequency tokens make degenerate LFs (huge
+    /// coverage, chance accuracy) and rare tokens make useless ones.
+    pub primitive_df_bounds: (usize, f64),
+    /// Curated names for positive-polarity indicators.
+    pub pos_words: &'static [&'static str],
+    /// Curated names for negative-polarity indicators.
+    pub neg_words: &'static [&'static str],
+}
+
+impl TextGenSpec {
+    /// Total examples across splits.
+    pub fn total(&self) -> usize {
+        self.n_train + self.n_valid + self.n_test
+    }
+}
+
+/// Assign a readable, unique name to every mixture token id.
+fn token_names(model: &MixtureModel) -> Vec<String> {
+    let vocab_size = model.vocab_size();
+    let mut names = Vec::with_capacity(vocab_size);
+    let (mut n_pos, mut n_neg) = (0usize, 0usize);
+    for t in 0..vocab_size as u32 {
+        if model.is_indicator(t) {
+            let (list, idx): (&[&str], usize) = match model.indicator_base(t) {
+                Label::Pos => {
+                    let i = n_pos;
+                    n_pos += 1;
+                    (POS_WORDS, i)
+                }
+                Label::Neg => {
+                    let i = n_neg;
+                    n_neg += 1;
+                    (NEG_WORDS, i)
+                }
+            };
+            names.push(curated_name(list, idx));
+        } else {
+            names.push(model.token_name(t));
+        }
+    }
+    names
+}
+
+/// `idx`-th unique name from a curated list (numeric suffix past the end).
+fn curated_name(list: &[&str], idx: usize) -> String {
+    if idx < list.len() {
+        list[idx].to_string()
+    } else {
+        format!("{}{}", list[idx % list.len()], idx / list.len())
+    }
+}
+
+/// Generate a text dataset from a spec. Deterministic in `seed`.
+pub fn generate_text(spec: &TextGenSpec, seed: u64) -> Dataset {
+    let mut rng = DetRng::new(seed ^ 0x7e87_9e0a_11b3_52cd);
+    let model = MixtureModel::new(spec.mixture.clone(), &mut rng);
+
+    // Curated naming for sentiment-style specs; spam specs substitute
+    // their own lists through `pos_words`/`neg_words`.
+    let mut names = token_names(&model);
+    if spec.pos_words.as_ptr() != POS_WORDS.as_ptr() || spec.neg_words.as_ptr() != NEG_WORDS.as_ptr() {
+        let (mut n_pos, mut n_neg) = (0usize, 0usize);
+        for t in 0..model.vocab_size() as u32 {
+            if model.is_indicator(t) {
+                names[t as usize] = match model.indicator_base(t) {
+                    Label::Pos => {
+                        let i = n_pos;
+                        n_pos += 1;
+                        curated_name(spec.pos_words, i)
+                    }
+                    Label::Neg => {
+                        let i = n_neg;
+                        n_neg += 1;
+                        curated_name(spec.neg_words, i)
+                    }
+                };
+            }
+        }
+    }
+
+    let mut train_rng = rng.fork(1);
+    let mut valid_rng = rng.fork(2);
+    let mut test_rng = rng.fork(3);
+    let train_docs = model.sample_docs(spec.n_train, &mut train_rng);
+    let valid_docs = model.sample_docs(spec.n_valid, &mut valid_rng);
+    let test_docs = model.sample_docs(spec.n_test, &mut test_rng);
+
+    // String round-trip: mixture ids → names → corpus vocabulary.
+    let to_strings = |docs: &[MixDoc]| -> Vec<Vec<String>> {
+        docs.iter()
+            .map(|d| d.tokens.iter().map(|&t| names[t as usize].clone()).collect())
+            .collect()
+    };
+    let train_strs = to_strings(&train_docs);
+    let valid_strs = to_strings(&valid_docs);
+    let test_strs = to_strings(&test_docs);
+
+    let vocab = Vocab::build(
+        train_strs.iter().map(|d| d.iter().map(String::as_str)),
+        1,
+    );
+
+    let encode = |docs: &[Vec<String>]| -> Vec<Vec<u32>> {
+        docs.iter().map(|d| vocab.encode_seq(d)).collect()
+    };
+    let train_ids = encode(&train_strs);
+    let valid_ids = encode(&valid_strs);
+    let test_ids = encode(&test_strs);
+
+    let tfidf = TfIdf::default().fit(&train_ids, vocab.len());
+
+    // Primitive-domain df filter (computed on the training split).
+    let mut df = vec![0usize; vocab.len()];
+    for doc in &train_ids {
+        let mut seen = doc.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        for &t in &seen {
+            df[t as usize] += 1;
+        }
+    }
+    let (min_df, max_df_frac) = spec.primitive_df_bounds;
+    let max_df = ((spec.n_train as f64) * max_df_frac).ceil() as usize;
+    let in_domain = |t: u32| -> bool {
+        let d = df[t as usize];
+        d >= min_df && d <= max_df
+    };
+
+    let build_split = |ids: &[Vec<u32>], docs: &[MixDoc]| -> Split {
+        let features = Features::from_csr(tfidf.transform(ids));
+        let sets: Vec<Vec<u32>> = ids
+            .iter()
+            .map(|doc| doc.iter().copied().filter(|&t| in_domain(t)).collect())
+            .collect();
+        let corpus = PrimitiveCorpus::new(sets, vocab.len());
+        Split {
+            labels: docs.iter().map(|d| d.label).collect(),
+            features,
+            corpus,
+            clusters: docs.iter().map(|d| d.cluster).collect(),
+        }
+    };
+
+    let train = build_split(&train_ids, &train_docs);
+    let valid = build_split(&valid_ids, &valid_docs);
+    let test = build_split(&test_ids, &test_docs);
+
+    // Lexicon: vocabulary ids of indicator tokens (sorted), restricted to
+    // the primitive domain.
+    let lexicon = if spec.expose_lexicon {
+        let mut lex: Vec<u32> = model
+            .lexicon()
+            .iter()
+            .filter_map(|&t| vocab.id(&names[t as usize]))
+            .filter(|&t| in_domain(t))
+            .collect();
+        lex.sort_unstable();
+        lex.dedup();
+        lex
+    } else {
+        Vec::new()
+    };
+
+    let class_prior_pos = valid.pos_frac();
+    let primitive_names = vocab.tokens().to_vec();
+    let n_primitives = vocab.len();
+
+    let ds = Dataset {
+        name: spec.name.clone(),
+        metric: spec.metric,
+        train,
+        valid,
+        test,
+        n_primitives,
+        primitive_names,
+        lexicon,
+        class_prior_pos,
+    };
+    ds.validate();
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> TextGenSpec {
+        TextGenSpec {
+            name: "Tiny".into(),
+            metric: Metric::Accuracy,
+            mixture: MixtureConfig {
+                n_clusters: 2,
+                n_shared: 30,
+                n_background_per_cluster: 20,
+                n_indicators: 10,
+                ..MixtureConfig::default()
+            },
+            n_train: 200,
+            n_valid: 40,
+            n_test: 40,
+            expose_lexicon: true,
+            primitive_df_bounds: (2, 0.5),
+            pos_words: POS_WORDS,
+            neg_words: NEG_WORDS,
+        }
+    }
+
+    #[test]
+    fn generates_consistent_dataset() {
+        let ds = generate_text(&tiny_spec(), 42);
+        assert_eq!(ds.train.n(), 200);
+        assert_eq!(ds.valid.n(), 40);
+        assert_eq!(ds.test.n(), 40);
+        assert!(ds.n_primitives > 0);
+        assert!(!ds.lexicon.is_empty());
+        ds.validate();
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_text(&tiny_spec(), 7);
+        let b = generate_text(&tiny_spec(), 7);
+        assert_eq!(a.n_primitives, b.n_primitives);
+        assert_eq!(a.train.labels, b.train.labels);
+        assert_eq!(a.lexicon, b.lexicon);
+        for i in 0..a.train.n() {
+            assert_eq!(a.train.corpus.primitives_of(i), b.train.corpus.primitives_of(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_text(&tiny_spec(), 1);
+        let b = generate_text(&tiny_spec(), 2);
+        assert_ne!(a.train.labels, b.train.labels);
+    }
+
+    #[test]
+    fn lexicon_words_are_readable() {
+        let ds = generate_text(&tiny_spec(), 42);
+        for &z in &ds.lexicon {
+            let name = ds.primitive_name(z);
+            assert!(
+                !name.starts_with("sh") && !name.starts_with("bg"),
+                "lexicon word {name} should be curated"
+            );
+        }
+    }
+
+    #[test]
+    fn lexicon_lfs_beat_chance() {
+        use nemo_lf::PrimitiveLf;
+        let ds = generate_text(&tiny_spec(), 42);
+        // For every lexicon word, the better-polarity LF should exceed 50%
+        // accuracy on average (indicators are class-correlated).
+        let mut accs = Vec::new();
+        for &z in &ds.lexicon {
+            let best = Label::ALL
+                .iter()
+                .filter_map(|&y| PrimitiveLf::new(z, y).accuracy_against(&ds.train.corpus, &ds.train.labels))
+                .fold(0.0f64, f64::max);
+            if best > 0.0 {
+                accs.push(best);
+            }
+        }
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        assert!(mean > 0.65, "mean best-polarity lexicon LF accuracy {mean}");
+    }
+
+    #[test]
+    fn features_unit_norm() {
+        let ds = generate_text(&tiny_spec(), 42);
+        for row in ds.train.features.csr().rows().take(20) {
+            if row.nnz() > 0 {
+                assert!((row.l2_norm() - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn no_lexicon_when_disabled() {
+        let spec = TextGenSpec { expose_lexicon: false, ..tiny_spec() };
+        let ds = generate_text(&spec, 42);
+        assert!(ds.lexicon.is_empty());
+    }
+
+    #[test]
+    fn curated_name_suffixes_past_list_end() {
+        assert_eq!(curated_name(&["a", "b"], 0), "a");
+        assert_eq!(curated_name(&["a", "b"], 2), "a1");
+        assert_eq!(curated_name(&["a", "b"], 5), "b2");
+    }
+
+    #[test]
+    fn same_cluster_docs_are_closer() {
+        use nemo_sparse::Distance;
+        let ds = generate_text(&tiny_spec(), 42);
+        let dists = ds.train.features.point_to_all(Distance::Cosine, 0);
+        let c0 = ds.train.clusters[0];
+        let (mut same, mut diff) = (Vec::new(), Vec::new());
+        for i in 1..ds.train.n() {
+            if ds.train.clusters[i] == c0 {
+                same.push(dists[i]);
+            } else {
+                diff.push(dists[i]);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&same) < mean(&diff),
+            "same-cluster mean {} should be below cross-cluster mean {}",
+            mean(&same),
+            mean(&diff)
+        );
+    }
+}

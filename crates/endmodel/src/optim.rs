@@ -1,0 +1,92 @@
+//! Adam optimizer over a flat parameter vector.
+//!
+//! Used by the ImplyLoss-L baseline (paper Sec. 5.2, [3]), whose joint
+//! objective over the classification and rule networks is easier to train
+//! with an adaptive method than with plain SGD.
+
+/// Adam state for one flat parameter vector.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Create with standard betas (0.9, 0.999).
+    pub fn new(n_params: usize, lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+            t: 0,
+        }
+    }
+
+    /// Number of parameters this optimizer was sized for.
+    pub fn n_params(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Apply one update step: `params -= lr · m̂ / (sqrt(v̂) + eps)`.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "param length mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= (self.lr * m_hat / (v_hat.sqrt() + self.eps)) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = (x0 − 3)^2 + (x1 + 2)^2
+        let mut params = vec![0.0f32, 0.0];
+        let mut opt = Adam::new(2, 0.1);
+        for _ in 0..500 {
+            let grads = vec![
+                2.0 * (params[0] as f64 - 3.0),
+                2.0 * (params[1] as f64 + 2.0),
+            ];
+            opt.step(&mut params, &grads);
+        }
+        assert!((params[0] - 3.0).abs() < 0.05, "x0 = {}", params[0]);
+        assert!((params[1] + 2.0).abs() < 0.05, "x1 = {}", params[1]);
+    }
+
+    #[test]
+    fn first_step_magnitude_close_to_lr() {
+        // Adam's bias correction makes the first step ≈ lr regardless of
+        // gradient scale.
+        let mut params = vec![0.0f32];
+        let mut opt = Adam::new(1, 0.1);
+        opt.step(&mut params, &[1000.0]);
+        assert!((params[0] + 0.1).abs() < 1e-3, "step {}", params[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "param length mismatch")]
+    fn rejects_wrong_size() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[0.0]);
+    }
+}

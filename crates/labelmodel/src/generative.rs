@@ -1,0 +1,273 @@
+//! Generative label model fit by expectation-maximization.
+//!
+//! The model class is the binary specialization of MeTaL [30] (and of the
+//! original data-programming generative model [29]): conditionally on the
+//! true label `y`, LFs vote independently; LF `j` has accuracy
+//! `a_j = P(λ_j(x) = y | λ_j(x) ≠ 0)` and a label-independent abstain
+//! propensity (which cancels in the posterior and therefore needs no
+//! parameter). The class balance is taken from the supplied prior (the
+//! paper estimates it from the validation split).
+//!
+//! EM alternates the textbook Dawid–Skene steps:
+//! - **E-step**: posteriors `q_i(y) ∝ Π_{j: L_ij≠0} a_j^{1[L_ij=y]}
+//!   (1−a_j)^{1[L_ij≠y]}` — the naive-Bayes aggregation.
+//! - **M-step**: `a_j ← (Σ_{i∈cov(j)} q_i(L_ij) + s·a₀) / (|cov(j)| + s)`
+//!   with pseudo-count anchoring toward the init accuracy `a₀`.
+//!
+//! Two deliberate deviations from the naive transcription, both load-
+//! bearing (see `self_feedback_regression` below for the failure they
+//! prevent):
+//!
+//! 1. **The E-step inside EM uses a symmetric class prior**; the true
+//!    class prior enters only the *final* aggregation. On an example
+//!    covered by a single LF, the self-consistent posterior equals the
+//!    LF's own accuracy estimate — with an asymmetric prior folded in, a
+//!    constant bias term accumulates across EM iterations and drifts the
+//!    estimate monotonically until the LF's votes silently *flip*.
+//!    Accuracy is a prior-free quantity; estimating it under a symmetric
+//!    prior removes the drift while leaving the genuine agreement signal
+//!    intact.
+//! 2. **Anchored smoothing**: the M-step shrinks toward `a₀` (not toward
+//!    0.5), so LFs with little or no overlap evidence keep a sensible
+//!    better-than-random weight — the role of MeTaL's regularizer.
+
+use crate::traits::{FittedLabelModel, LabelModel, NaiveBayesFit};
+use nemo_lf::LabelMatrix;
+use nemo_sparse::stats::sigmoid;
+
+/// EM-fitted generative label model (the reproduction's "MeTaL").
+#[derive(Debug, Clone)]
+pub struct GenerativeModel {
+    /// Number of EM iterations.
+    pub n_iters: usize,
+    /// Accuracy initialization and anchor (the value LFs keep when they
+    /// have no cross-LF overlap evidence).
+    pub init_accuracy: f64,
+    /// Pseudo-count strength of the anchor in the M-step. Plays the role
+    /// of MeTaL's regularization toward the prior accuracy: with few LFs
+    /// the pairwise-overlap evidence is a handful of noisy entries, and an
+    /// unanchored M-step collapses all accuracies toward 0.5; the anchor
+    /// keeps estimates near `init_accuracy` until genuine agreement
+    /// evidence accumulates (overlap counts ≫ `smoothing`).
+    pub smoothing: f64,
+    /// Early-stop threshold on the max accuracy change per iteration.
+    pub tol: f64,
+}
+
+impl Default for GenerativeModel {
+    fn default() -> Self {
+        Self { n_iters: 50, init_accuracy: 0.7, smoothing: 12.0, tol: 1e-6 }
+    }
+}
+
+impl LabelModel for GenerativeModel {
+    fn name(&self) -> &'static str {
+        "generative-em"
+    }
+
+    fn fit(&self, matrix: &LabelMatrix, prior: [f64; 2]) -> Box<dyn FittedLabelModel> {
+        let m = matrix.n_lfs();
+        let mut acc = vec![self.init_accuracy; m];
+        if m == 0 {
+            return Box::new(NaiveBayesFit::new(acc, prior));
+        }
+        let (clamp_lo, clamp_hi) = NaiveBayesFit::ACC_CLAMP;
+        for _ in 0..self.n_iters {
+            // E-step under a *symmetric* prior (see module docs, point 1).
+            let log_odds: Vec<f64> = acc
+                .iter()
+                .map(|&a| {
+                    let a = a.clamp(clamp_lo, clamp_hi);
+                    (a / (1.0 - a)).ln()
+                })
+                .collect();
+            let mut logits = vec![0.0f64; matrix.n_examples()];
+            for (j, col) in matrix.columns().enumerate() {
+                for &(i, v) in col.entries() {
+                    logits[i as usize] += v as f64 * log_odds[j];
+                }
+            }
+            // M-step: expected correctness over the coverage, anchored at
+            // the init accuracy.
+            let mut max_delta = 0.0f64;
+            for (j, col) in matrix.columns().enumerate() {
+                let mut expected_correct = 0.0;
+                for &(i, v) in col.entries() {
+                    let p_pos = sigmoid(logits[i as usize]);
+                    expected_correct += if v > 0 { p_pos } else { 1.0 - p_pos };
+                }
+                let n_cov = col.coverage() as f64;
+                let new_acc = (expected_correct + self.smoothing * self.init_accuracy)
+                    / (n_cov + self.smoothing);
+                max_delta = max_delta.max((new_acc - acc[j]).abs());
+                acc[j] = new_acc;
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+        // The true class prior enters only the final aggregation.
+        Box::new(NaiveBayesFit::new(acc, prior))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_lf::{Label, LfColumn};
+    use nemo_sparse::DetRng;
+
+    /// Plant a label matrix: `n` examples with random labels; each LF has a
+    /// target accuracy and coverage rate. Returns (matrix, true labels,
+    /// planted accuracies).
+    fn planted(
+        n: usize,
+        specs: &[(f64, f64)], // (accuracy, coverage)
+        seed: u64,
+    ) -> (LabelMatrix, Vec<Label>, Vec<f64>) {
+        let mut rng = DetRng::new(seed);
+        let labels: Vec<Label> = (0..n).map(|_| Label::from_bool(rng.bernoulli(0.5))).collect();
+        let mut matrix = LabelMatrix::new(n);
+        for &(acc, cov) in specs {
+            let mut entries = Vec::new();
+            for (i, &y) in labels.iter().enumerate() {
+                if rng.bernoulli(cov) {
+                    let vote = if rng.bernoulli(acc) { y.sign() } else { y.flip().sign() };
+                    entries.push((i as u32, vote));
+                }
+            }
+            matrix.push(LfColumn::new(entries));
+        }
+        (matrix, labels, specs.iter().map(|&(a, _)| a).collect())
+    }
+
+    #[test]
+    fn recovers_planted_accuracies() {
+        let (matrix, _, truth) = planted(4000, &[(0.9, 0.3), (0.7, 0.3), (0.55, 0.3), (0.85, 0.2)], 1);
+        let fitted = GenerativeModel::default().fit(&matrix, [0.5, 0.5]);
+        for (est, want) in fitted.lf_accuracies().iter().zip(&truth) {
+            assert!(
+                (est - want).abs() < 0.06,
+                "estimated {est:.3} for planted {want:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregation_beats_average_lf_on_covered() {
+        let (matrix, labels, _) = planted(3000, &[(0.8, 0.5), (0.75, 0.5), (0.7, 0.5)], 2);
+        let fitted = GenerativeModel::default().fit(&matrix, [0.5, 0.5]);
+        let post = fitted.predict(&matrix);
+        let pred = post.hard_labels();
+        let summaries = matrix.vote_summaries();
+        let (mut correct, mut covered) = (0usize, 0usize);
+        for i in 0..labels.len() {
+            if summaries[i].total() > 0 {
+                covered += 1;
+                if pred[i] == labels[i] {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / covered as f64;
+        // Mean LF accuracy is 0.75; aggregation should beat it on the
+        // covered region (multiply-covered examples get denoised).
+        assert!(acc > 0.76, "covered aggregated accuracy {acc}");
+    }
+
+    #[test]
+    fn em_orders_lfs_by_quality() {
+        // Accuracy ordering is identifiable from three mutually
+        // overlapping LFs (it is not from two — pairwise agreement is
+        // symmetric, exactly FlyingSquid's triplet-identifiability fact).
+        let (matrix, _, _) = planted(5000, &[(0.9, 0.4), (0.6, 0.4), (0.8, 0.4)], 3);
+        let fitted = GenerativeModel::default().fit(&matrix, [0.5, 0.5]);
+        let accs = fitted.lf_accuracies();
+        assert!(accs[0] > accs[2] && accs[2] > accs[1], "accs {accs:?}");
+    }
+
+    #[test]
+    fn empty_matrix_returns_prior_model() {
+        let matrix = LabelMatrix::new(10);
+        let fitted = GenerativeModel::default().fit(&matrix, [0.3, 0.7]);
+        let post = fitted.predict(&matrix);
+        assert!((post.p_pos(0) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_lf_keeps_anchor_accuracy() {
+        // With one LF there is no cross-LF evidence at all; the estimate
+        // must stay exactly at the anchor rather than drift.
+        let (matrix, _, _) = planted(1000, &[(0.9, 0.5)], 4);
+        let model = GenerativeModel::default();
+        let fitted = model.fit(&matrix, [0.5, 0.5]);
+        let a = fitted.lf_accuracies()[0];
+        assert!((a - model.init_accuracy).abs() < 1e-9, "single-LF accuracy {a}");
+    }
+
+    #[test]
+    fn self_feedback_regression() {
+        // Regression test for the drift pathology: two (nearly) disjoint
+        // LFs, one per class, under an asymmetric class prior. A naive
+        // M-step that feeds an LF's own vote into its accuracy estimate
+        // drifts the positive LF's accuracy below 0.5, silently flipping
+        // its votes. The leave-one-out M-step keeps both anchored.
+        let mut rng = DetRng::new(99);
+        let labels: Vec<Label> = (0..800).map(|_| Label::from_bool(rng.bernoulli(0.49))).collect();
+        let mut matrix = LabelMatrix::new(800);
+        let mut pos_entries = Vec::new();
+        let mut neg_entries = Vec::new();
+        for (i, &y) in labels.iter().enumerate() {
+            // Disjoint coverage: evens → LF0 (votes Pos), odds → LF1 (Neg).
+            if i % 2 == 0 && rng.bernoulli(0.2) {
+                let v = if rng.bernoulli(0.85) { y.sign() } else { y.flip().sign() };
+                if v != 0 {
+                    pos_entries.push((i as u32, v));
+                }
+            } else if i % 2 == 1 && rng.bernoulli(0.2) {
+                let v = if rng.bernoulli(0.85) { y.sign() } else { y.flip().sign() };
+                neg_entries.push((i as u32, v));
+            }
+        }
+        matrix.push(LfColumn::new(pos_entries));
+        matrix.push(LfColumn::new(neg_entries));
+        let fitted = GenerativeModel::default().fit(&matrix, [0.513, 0.487]);
+        for &a in fitted.lf_accuracies() {
+            assert!(a > 0.5, "disjoint LF drifted to {a} (vote-flip pathology)");
+        }
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let (matrix, _, _) = planted(2000, &[(0.8, 0.3), (0.7, 0.3)], 5);
+        let f1 = GenerativeModel::default().fit(&matrix, [0.5, 0.5]);
+        let f2 = GenerativeModel::default().fit(&matrix, [0.5, 0.5]);
+        assert_eq!(f1.lf_accuracies(), f2.lf_accuracies());
+    }
+
+    #[test]
+    fn adversarial_lf_downweighted() {
+        // An LF with accuracy ~0.2 (systematically wrong) should end up
+        // with estimated accuracy < 0.5 so its votes get *flipped* by the
+        // aggregation — the denoising the generative model exists for.
+        let (matrix, labels, _) = planted(4000, &[(0.85, 0.4), (0.8, 0.4), (0.2, 0.4)], 6);
+        let fitted = GenerativeModel::default().fit(&matrix, [0.5, 0.5]);
+        assert!(fitted.lf_accuracies()[2] < 0.5);
+        // With the adversarial LF's votes flipped by the learned weight,
+        // covered-region accuracy should stay high.
+        let post = fitted.predict(&matrix);
+        let pred = post.hard_labels();
+        let summaries = matrix.vote_summaries();
+        let (mut correct, mut covered) = (0usize, 0usize);
+        for i in 0..labels.len() {
+            if summaries[i].total() > 0 {
+                covered += 1;
+                if pred[i] == labels[i] {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / covered as f64;
+        assert!(acc > 0.75, "covered accuracy with adversarial LF {acc}");
+    }
+}

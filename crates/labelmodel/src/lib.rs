@@ -1,0 +1,33 @@
+//! # nemo-labelmodel
+//!
+//! Label-model substrate (paper Sec. 2, stage 2): learn per-LF accuracies
+//! from the label matrix `L` and aggregate weak votes into probabilistic
+//! soft labels `P(y_i | L)`.
+//!
+//! Three estimators are provided:
+//!
+//! - [`MajorityVote`] — the classic baseline aggregator.
+//! - [`GenerativeModel`] — a conditionally-independent generative model
+//!   with per-LF accuracy parameters fit by EM. This is the binary
+//!   specialization of the MeTaL [30] model class and the default label
+//!   model throughout the reproduction (the paper adopts MeTaL).
+//! - [`TripletModel`] — the closed-form method-of-moments estimator of
+//!   FlyingSquid [11], used as an alternative estimator and as a
+//!   cross-check in tests.
+//!
+//! All models share the [`LabelModel`] → [`FittedLabelModel`] interface:
+//! fitting happens on the training label matrix; the fitted model can then
+//! score *any* label matrix over the same LFs (e.g. the validation split,
+//! which the contextualizer's percentile tuner uses).
+
+pub mod generative;
+pub mod majority;
+pub mod posterior;
+pub mod traits;
+pub mod triplet;
+
+pub use generative::GenerativeModel;
+pub use majority::MajorityVote;
+pub use posterior::Posterior;
+pub use traits::{FittedLabelModel, LabelModel, NaiveBayesFit};
+pub use triplet::TripletModel;

@@ -1,0 +1,225 @@
+//! Triplet (method-of-moments) label model — FlyingSquid [11].
+//!
+//! Under the conditionally-independent binary model with symmetric
+//! accuracies and balanced classes, the pairwise agreement moment between
+//! two LFs on their jointly-covered examples factorizes:
+//!
+//! ```text
+//! M_jk := E[λ_j λ_k | λ_j ≠ 0, λ_k ≠ 0] = (2a_j − 1)(2a_k − 1)
+//! ```
+//!
+//! so any *triplet* `(j, k, l)` identifies LF `j`'s accuracy in closed form:
+//!
+//! ```text
+//! |2a_j − 1| = sqrt(|M_jk · M_jl / M_kl|)
+//! ```
+//!
+//! with the sign fixed by the better-than-random assumption `a_j > 0.5`.
+//! The estimator averages over all informative triplets and falls back to a
+//! default accuracy for LFs without enough overlap signal. Aggregation then
+//! uses the shared naive-Bayes rule.
+
+use crate::traits::{FittedLabelModel, LabelModel, NaiveBayesFit};
+use nemo_lf::LabelMatrix;
+
+/// Closed-form triplet label model.
+#[derive(Debug, Clone)]
+pub struct TripletModel {
+    /// Minimum jointly-covered examples for a pair moment to be used.
+    pub min_overlap: usize,
+    /// Minimum |moment| in the denominator (avoids blow-up).
+    pub min_moment: f64,
+    /// Accuracy assigned when no informative triplet exists for an LF,
+    /// and the shrinkage target for weakly-supported estimates.
+    pub fallback_accuracy: f64,
+    /// Pseudo-count strength of shrinkage toward `fallback_accuracy`.
+    /// Triplet estimates are weighted by their minimum pairwise overlap
+    /// (the moment's effective sample size), so estimates from a handful
+    /// of co-covered examples barely move the anchor while estimates from
+    /// hundreds dominate it — the role regularization plays in MeTaL's
+    /// matrix-completion step.
+    pub shrinkage: f64,
+}
+
+impl Default for TripletModel {
+    fn default() -> Self {
+        Self {
+            min_overlap: 5,
+            min_moment: 0.05,
+            fallback_accuracy: 0.82,
+            shrinkage: 10.0,
+        }
+    }
+}
+
+impl TripletModel {
+    /// Pairwise agreement moments and overlap counts.
+    fn pair_moments(matrix: &LabelMatrix) -> (Vec<Vec<f64>>, Vec<Vec<usize>>) {
+        let m = matrix.n_lfs();
+        let mut moments = vec![vec![0.0; m]; m];
+        let mut overlaps = vec![vec![0usize; m]; m];
+        for j in 0..m {
+            for k in (j + 1)..m {
+                let (mut agree, mut total) = (0i64, 0i64);
+                let (a, b) = (matrix.column(j).entries(), matrix.column(k).entries());
+                let (mut p, mut q) = (0usize, 0usize);
+                while p < a.len() && q < b.len() {
+                    match a[p].0.cmp(&b[q].0) {
+                        std::cmp::Ordering::Less => p += 1,
+                        std::cmp::Ordering::Greater => q += 1,
+                        std::cmp::Ordering::Equal => {
+                            total += 1;
+                            agree += (a[p].1 as i64) * (b[q].1 as i64);
+                            p += 1;
+                            q += 1;
+                        }
+                    }
+                }
+                let moment = if total > 0 { agree as f64 / total as f64 } else { 0.0 };
+                moments[j][k] = moment;
+                moments[k][j] = moment;
+                overlaps[j][k] = total as usize;
+                overlaps[k][j] = total as usize;
+            }
+        }
+        (moments, overlaps)
+    }
+}
+
+impl LabelModel for TripletModel {
+    fn name(&self) -> &'static str {
+        "triplet"
+    }
+
+    fn fit(&self, matrix: &LabelMatrix, prior: [f64; 2]) -> Box<dyn FittedLabelModel> {
+        let m = matrix.n_lfs();
+        if m < 3 {
+            return Box::new(NaiveBayesFit::new(vec![self.fallback_accuracy; m], prior));
+        }
+        let (moments, overlaps) = Self::pair_moments(matrix);
+        let mut accuracies = Vec::with_capacity(m);
+        for j in 0..m {
+            // Overlap-weighted average of triplet estimates, shrunk toward
+            // the anchor by a pseudo-count.
+            let mut weighted_sum = self.shrinkage * self.fallback_accuracy;
+            let mut total_weight = self.shrinkage;
+            for k in 0..m {
+                if k == j || overlaps[j][k] < self.min_overlap {
+                    continue;
+                }
+                for l in (k + 1)..m {
+                    if l == j
+                        || overlaps[j][l] < self.min_overlap
+                        || overlaps[k][l] < self.min_overlap
+                        || moments[k][l].abs() < self.min_moment
+                    {
+                        continue;
+                    }
+                    let sq = (moments[j][k] * moments[j][l] / moments[k][l]).abs();
+                    let centered = sq.sqrt().min(1.0);
+                    let estimate = 0.5 + centered / 2.0;
+                    let w =
+                        overlaps[j][k].min(overlaps[j][l]).min(overlaps[k][l]) as f64;
+                    weighted_sum += w * estimate;
+                    total_weight += w;
+                }
+            }
+            accuracies.push(weighted_sum / total_weight);
+        }
+        Box::new(NaiveBayesFit::new(accuracies, prior))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_lf::{Label, LfColumn};
+    use nemo_sparse::DetRng;
+
+    fn planted(n: usize, specs: &[(f64, f64)], seed: u64) -> (LabelMatrix, Vec<Label>) {
+        let mut rng = DetRng::new(seed);
+        let labels: Vec<Label> = (0..n).map(|_| Label::from_bool(rng.bernoulli(0.5))).collect();
+        let mut matrix = LabelMatrix::new(n);
+        for &(acc, cov) in specs {
+            let mut entries = Vec::new();
+            for (i, &y) in labels.iter().enumerate() {
+                if rng.bernoulli(cov) {
+                    let vote = if rng.bernoulli(acc) { y.sign() } else { y.flip().sign() };
+                    entries.push((i as u32, vote));
+                }
+            }
+            matrix.push(LfColumn::new(entries));
+        }
+        (matrix, labels)
+    }
+
+    #[test]
+    fn recovers_planted_accuracies() {
+        let specs = [(0.9, 0.5), (0.75, 0.5), (0.6, 0.5), (0.85, 0.5)];
+        let (matrix, _) = planted(20_000, &specs, 1);
+        let fitted = TripletModel::default().fit(&matrix, [0.5, 0.5]);
+        for (est, &(want, _)) in fitted.lf_accuracies().iter().zip(&specs) {
+            assert!((est - want).abs() < 0.05, "estimated {est:.3} vs planted {want:.3}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_em_on_planted_data() {
+        use crate::generative::GenerativeModel;
+        let specs = [(0.85, 0.4), (0.7, 0.4), (0.8, 0.4)];
+        let (matrix, _) = planted(10_000, &specs, 2);
+        let t = TripletModel::default().fit(&matrix, [0.5, 0.5]);
+        let g = GenerativeModel::default().fit(&matrix, [0.5, 0.5]);
+        for (a, b) in t.lf_accuracies().iter().zip(g.lf_accuracies()) {
+            assert!((a - b).abs() < 0.08, "triplet {a:.3} vs em {b:.3}");
+        }
+    }
+
+    #[test]
+    fn fallback_for_fewer_than_three_lfs() {
+        let (matrix, _) = planted(500, &[(0.9, 0.5), (0.6, 0.5)], 3);
+        let model = TripletModel::default();
+        let fitted = model.fit(&matrix, [0.5, 0.5]);
+        assert!(fitted
+            .lf_accuracies()
+            .iter()
+            .all(|&a| (a - model.fallback_accuracy).abs() < 1e-12));
+    }
+
+    #[test]
+    fn fallback_for_disjoint_coverage() {
+        // Three LFs with disjoint coverage: no overlap moments.
+        let mut matrix = LabelMatrix::new(30);
+        matrix.push(LfColumn::new((0..10).map(|i| (i, 1)).collect()));
+        matrix.push(LfColumn::new((10..20).map(|i| (i, 1)).collect()));
+        matrix.push(LfColumn::new((20..30).map(|i| (i, -1)).collect()));
+        let model = TripletModel::default();
+        let fitted = model.fit(&matrix, [0.5, 0.5]);
+        assert!(fitted
+            .lf_accuracies()
+            .iter()
+            .all(|&a| (a - model.fallback_accuracy).abs() < 1e-12));
+    }
+
+    #[test]
+    fn aggregation_denoises() {
+        let specs = [(0.85, 0.6), (0.75, 0.6), (0.7, 0.6), (0.65, 0.6)];
+        let (matrix, labels) = planted(5_000, &specs, 4);
+        let fitted = TripletModel::default().fit(&matrix, [0.5, 0.5]);
+        let post = fitted.predict(&matrix);
+        let pred = post.hard_labels();
+        let summaries = matrix.vote_summaries();
+        let (mut correct, mut covered) = (0usize, 0usize);
+        for i in 0..labels.len() {
+            if summaries[i].total() > 0 {
+                covered += 1;
+                if pred[i] == labels[i] {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / covered as f64;
+        // Mean LF accuracy is ~0.74; aggregation must beat it on covered.
+        assert!(acc > 0.78, "covered aggregated accuracy {acc}");
+    }
+}

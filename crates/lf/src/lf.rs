@@ -1,0 +1,136 @@
+//! Primitive-based labeling functions (paper Sec. 4, "System Configuration
+//! and Inputs"):
+//!
+//! ```text
+//! λ_{z,y}(x):  return y if x contains z else abstain
+//! ```
+//!
+//! where `z ∈ Z` is a domain-specific primitive (keyword id for text,
+//! object-annotation id for images) and `y ∈ Y` a target label. This family
+//! absorbs any uni-polar LF, since the primitive domain may contain
+//! arbitrary black-box indicator transformations of the input.
+
+use crate::apply::PrimitiveCorpus;
+use crate::label::{Label, Vote, ABSTAIN};
+
+/// A primitive-based labeling function `λ_{z,y}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrimitiveLf {
+    /// Primitive id in the configured primitive domain `Z`.
+    pub z: u32,
+    /// Target label emitted on every covered example.
+    pub y: Label,
+}
+
+impl PrimitiveLf {
+    /// Construct `λ_{z,y}`.
+    pub fn new(z: u32, y: Label) -> Self {
+        Self { z, y }
+    }
+
+    /// Vote on a single example given its primitive set (sorted ids).
+    #[inline]
+    pub fn vote_on_set(&self, primitives: &[u32]) -> Vote {
+        if primitives.binary_search(&self.z).is_ok() {
+            self.y.sign()
+        } else {
+            ABSTAIN
+        }
+    }
+
+    /// Vote on example `i` of a corpus.
+    #[inline]
+    pub fn vote(&self, corpus: &PrimitiveCorpus, i: usize) -> Vote {
+        self.vote_on_set(corpus.primitives_of(i))
+    }
+
+    /// The example ids this LF covers (labels non-abstain), via the
+    /// corpus's inverted index — `O(1)` lookup, no scan.
+    pub fn coverage<'a>(&self, corpus: &'a PrimitiveCorpus) -> &'a [u32] {
+        corpus.index().postings(self.z)
+    }
+
+    /// Coverage fraction over the corpus.
+    pub fn coverage_frac(&self, corpus: &PrimitiveCorpus) -> f64 {
+        if corpus.len() == 0 {
+            return 0.0;
+        }
+        self.coverage(corpus).len() as f64 / corpus.len() as f64
+    }
+
+    /// Empirical accuracy against a label vector, over covered examples
+    /// only. Returns `None` when the LF covers nothing.
+    pub fn accuracy_against(&self, corpus: &PrimitiveCorpus, labels: &[Label]) -> Option<f64> {
+        let cov = self.coverage(corpus);
+        if cov.is_empty() {
+            return None;
+        }
+        let correct = cov.iter().filter(|&&i| labels[i as usize] == self.y).count();
+        Some(correct as f64 / cov.len() as f64)
+    }
+}
+
+impl std::fmt::Display for PrimitiveLf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "λ(z={}, y={})", self.z, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> PrimitiveCorpus {
+        PrimitiveCorpus::new(vec![vec![0, 1], vec![1, 2], vec![2], vec![]], 4)
+    }
+
+    #[test]
+    fn vote_respects_containment() {
+        let c = corpus();
+        let lf = PrimitiveLf::new(1, Label::Pos);
+        assert_eq!(lf.vote(&c, 0), 1);
+        assert_eq!(lf.vote(&c, 1), 1);
+        assert_eq!(lf.vote(&c, 2), ABSTAIN);
+        assert_eq!(lf.vote(&c, 3), ABSTAIN);
+    }
+
+    #[test]
+    fn negative_lf_votes_minus_one() {
+        let c = corpus();
+        let lf = PrimitiveLf::new(2, Label::Neg);
+        assert_eq!(lf.vote(&c, 1), -1);
+        assert_eq!(lf.vote(&c, 0), ABSTAIN);
+    }
+
+    #[test]
+    fn coverage_from_index() {
+        let c = corpus();
+        let lf = PrimitiveLf::new(2, Label::Pos);
+        assert_eq!(lf.coverage(&c), &[1, 2]);
+        assert!((lf.coverage_frac(&c) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_empty_for_unseen_primitive() {
+        let c = corpus();
+        let lf = PrimitiveLf::new(3, Label::Pos);
+        assert!(lf.coverage(&c).is_empty());
+        assert_eq!(lf.accuracy_against(&c, &[Label::Pos; 4]), None);
+    }
+
+    #[test]
+    fn accuracy_against_ground_truth() {
+        let c = corpus();
+        let labels = [Label::Pos, Label::Neg, Label::Neg, Label::Pos];
+        let lf = PrimitiveLf::new(1, Label::Pos); // covers 0 (Pos ✓), 1 (Neg ✗)
+        assert_eq!(lf.accuracy_against(&c, &labels), Some(0.5));
+        let lf2 = PrimitiveLf::new(2, Label::Neg); // covers 1, 2 both Neg
+        assert_eq!(lf2.accuracy_against(&c, &labels), Some(1.0));
+    }
+
+    #[test]
+    fn display_format() {
+        let lf = PrimitiveLf::new(7, Label::Neg);
+        assert_eq!(lf.to_string(), "λ(z=7, y=-1)");
+    }
+}

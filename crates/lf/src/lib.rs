@@ -1,0 +1,22 @@
+//! # nemo-lf
+//!
+//! The labeling-function substrate of the data-programming pipeline
+//! (paper Sec. 2 and 4): binary labels and votes, primitive-based labeling
+//! functions `λ_{z,y}`, the primitive corpus (per-example primitive sets
+//! backed by an inverted index), the `n × m` label matrix produced by
+//! applying LFs to the unlabeled set, and the data-to-LF lineage record
+//! that Nemo's contextualizer consumes.
+
+pub mod apply;
+pub mod label;
+pub mod lf;
+pub mod lineage;
+pub mod matrix;
+pub mod metrics;
+
+pub use apply::PrimitiveCorpus;
+pub use label::{label_from_prob, Label, Vote, ABSTAIN};
+pub use lf::PrimitiveLf;
+pub use lineage::{Lineage, TrackedLf};
+pub use matrix::{LabelMatrix, LfColumn, VoteSummary};
+pub use metrics::{Confusion, Metric};

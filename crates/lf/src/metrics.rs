@@ -1,0 +1,312 @@
+//! Classification metrics over binary labels.
+//!
+//! The paper measures generalization with accuracy on all datasets except
+//! SMS, which is highly imbalanced and evaluated with F1 (Sec. 5.1). The
+//! positive class is the minority/interest class (spam for SMS).
+
+use crate::label::Label;
+
+/// Which metric a dataset is evaluated with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Metric {
+    /// Fraction of correct predictions.
+    #[default]
+    Accuracy,
+    /// F1 of the positive class (harmonic mean of precision and recall).
+    F1,
+}
+
+impl Metric {
+    /// Name used in the benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Accuracy => "accuracy",
+            Metric::F1 => "f1",
+        }
+    }
+
+    /// Score predictions against gold labels.
+    pub fn score(self, pred: &[Label], gold: &[Label]) -> f64 {
+        match self {
+            Metric::Accuracy => accuracy(pred, gold),
+            Metric::F1 => f1(pred, gold),
+        }
+    }
+}
+
+/// Confusion counts for the positive class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally a prediction/gold pair stream.
+    pub fn from_pairs(pred: &[Label], gold: &[Label]) -> Self {
+        assert_eq!(pred.len(), gold.len(), "prediction/gold length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &g) in pred.iter().zip(gold) {
+            match (p, g) {
+                (Label::Pos, Label::Pos) => c.tp += 1,
+                (Label::Pos, Label::Neg) => c.fp += 1,
+                (Label::Neg, Label::Neg) => c.tn += 1,
+                (Label::Neg, Label::Pos) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision of the positive class (0 when nothing was predicted
+    /// positive).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall of the positive class (0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 of the positive class.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Decision threshold on `P(y=+1)` maximizing F1 against `gold` on a
+/// validation sample (standard practice for F1-metric tasks: under heavy
+/// class imbalance the 0.5 threshold degenerates to never predicting the
+/// minority class). Candidate thresholds are the midpoints of the sorted
+/// unique probabilities; ties resolve to the smallest threshold (highest
+/// recall). Returns 0.5 when the input is degenerate.
+pub fn best_f1_threshold(p_pos: &[f64], gold: &[Label]) -> f64 {
+    assert_eq!(p_pos.len(), gold.len(), "prob/gold length mismatch");
+    if p_pos.is_empty() {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..p_pos.len()).collect();
+    order.sort_by(|&a, &b| p_pos[a].partial_cmp(&p_pos[b]).expect("finite probabilities"));
+    let total_pos = gold.iter().filter(|&&g| g == Label::Pos).count();
+    if total_pos == 0 || total_pos == gold.len() {
+        return 0.5;
+    }
+    // Predicting positive above a threshold between order[k-1] and
+    // order[k]: tp/fp counted by suffix sums.
+    let mut best_f1 = -1.0;
+    let mut best_t = 0.5;
+    let mut tp = total_pos;
+    let mut fp = gold.len() - total_pos;
+    let mut k = 0usize;
+    // Threshold below the minimum: everything predicted positive.
+    loop {
+        let denom_p = tp + fp;
+        let precision = if denom_p == 0 { 0.0 } else { tp as f64 / denom_p as f64 };
+        let recall = tp as f64 / total_pos as f64;
+        let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+        let threshold = if k == 0 {
+            p_pos[order[0]] - 1e-9
+        } else if k == p_pos.len() {
+            p_pos[order[k - 1]] + 1e-9
+        } else {
+            (p_pos[order[k - 1]] + p_pos[order[k]]) / 2.0
+        };
+        if f1 > best_f1 {
+            best_f1 = f1;
+            best_t = threshold;
+        }
+        if k == p_pos.len() {
+            break;
+        }
+        // Move the k-th smallest probability below the threshold.
+        match gold[order[k]] {
+            Label::Pos => tp -= 1,
+            Label::Neg => fp -= 1,
+        }
+        k += 1;
+    }
+    best_t.clamp(0.0, 1.0)
+}
+
+/// Accuracy of `pred` against `gold`.
+pub fn accuracy(pred: &[Label], gold: &[Label]) -> f64 {
+    Confusion::from_pairs(pred, gold).accuracy()
+}
+
+/// F1 (positive class) of `pred` against `gold`.
+pub fn f1(pred: &[Label], gold: &[Label]) -> f64 {
+    Confusion::from_pairs(pred, gold).f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const P: Label = Label::Pos;
+    const N: Label = Label::Neg;
+
+    #[test]
+    fn perfect_predictions() {
+        let gold = [P, N, P, N];
+        assert_eq!(accuracy(&gold, &gold), 1.0);
+        assert_eq!(f1(&gold, &gold), 1.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let gold = [P, N];
+        let pred = [N, P];
+        assert_eq!(accuracy(&pred, &gold), 0.0);
+        assert_eq!(f1(&pred, &gold), 0.0);
+    }
+
+    #[test]
+    fn known_confusion() {
+        // tp=2 fp=1 tn=1 fn=1
+        let gold = [P, P, N, N, P];
+        let pred = [P, P, P, N, N];
+        let c = Confusion::from_pairs(&pred, &gold);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 1, 1));
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_zero_when_never_predicting_positive() {
+        let gold = [P, P, N];
+        let pred = [N, N, N];
+        assert_eq!(f1(&pred, &gold), 0.0);
+    }
+
+    #[test]
+    fn f1_differs_from_accuracy_under_imbalance() {
+        // 90% negative; constant-negative predictor: high accuracy, f1 = 0.
+        let mut gold = vec![N; 9];
+        gold.push(P);
+        let pred = vec![N; 10];
+        assert!(accuracy(&pred, &gold) > 0.85);
+        assert_eq!(f1(&pred, &gold), 0.0);
+    }
+
+    #[test]
+    fn metric_dispatch() {
+        let gold = [P, N];
+        let pred = [P, P];
+        assert!((Metric::Accuracy.score(&pred, &gold) - 0.5).abs() < 1e-12);
+        assert!((Metric::F1.score(&pred, &gold) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Metric::Accuracy.name(), "accuracy");
+        assert_eq!(Metric::F1.name(), "f1");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        accuracy(&[P], &[P, N]);
+    }
+
+    #[test]
+    fn threshold_recovers_minority_class() {
+        // 10% positives perfectly separated at p=0.4 — the 0.5 threshold
+        // predicts all-negative (F1 0), the tuned threshold finds them.
+        let mut p_pos = vec![0.1; 18];
+        p_pos.extend([0.4, 0.4]);
+        let mut gold = vec![N; 18];
+        gold.extend([P, P]);
+        let t = best_f1_threshold(&p_pos, &gold);
+        assert!(t < 0.4 && t > 0.1, "threshold {t}");
+        let pred: Vec<Label> = p_pos.iter().map(|&p| Label::from_bool(p >= t)).collect();
+        assert_eq!(f1(&pred, &gold), 1.0);
+    }
+
+    #[test]
+    fn threshold_degenerate_inputs() {
+        assert_eq!(best_f1_threshold(&[], &[]), 0.5);
+        assert_eq!(best_f1_threshold(&[0.3, 0.7], &[N, N]), 0.5);
+        assert_eq!(best_f1_threshold(&[0.3, 0.7], &[P, P]), 0.5);
+    }
+
+    #[test]
+    fn threshold_is_optimal_vs_grid() {
+        use nemo_sparse::DetRng;
+        let mut rng = DetRng::new(5);
+        let n = 60;
+        let gold: Vec<Label> = (0..n).map(|_| Label::from_bool(rng.bernoulli(0.3))).collect();
+        let p_pos: Vec<f64> = gold
+            .iter()
+            .map(|&g| {
+                let base: f64 = if g == P { 0.6 } else { 0.35 };
+                (base + rng.gaussian() * 0.2).clamp(0.0, 1.0)
+            })
+            .collect();
+        let t = best_f1_threshold(&p_pos, &gold);
+        let f1_at = |t: f64| {
+            let pred: Vec<Label> = p_pos.iter().map(|&p| Label::from_bool(p >= t)).collect();
+            f1(&pred, &gold)
+        };
+        let best = f1_at(t);
+        for k in 0..=100 {
+            let grid_t = k as f64 / 100.0;
+            assert!(best >= f1_at(grid_t) - 1e-9, "grid t={grid_t} beats tuned {t}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metrics_in_unit_interval(
+            pairs in proptest::collection::vec((proptest::bool::ANY, proptest::bool::ANY), 1..40),
+        ) {
+            let pred: Vec<Label> = pairs.iter().map(|&(p, _)| Label::from_bool(p)).collect();
+            let gold: Vec<Label> = pairs.iter().map(|&(_, g)| Label::from_bool(g)).collect();
+            for m in [Metric::Accuracy, Metric::F1] {
+                let s = m.score(&pred, &gold);
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+
+        #[test]
+        fn prop_accuracy_counts(
+            pairs in proptest::collection::vec((proptest::bool::ANY, proptest::bool::ANY), 1..40),
+        ) {
+            let pred: Vec<Label> = pairs.iter().map(|&(p, _)| Label::from_bool(p)).collect();
+            let gold: Vec<Label> = pairs.iter().map(|&(_, g)| Label::from_bool(g)).collect();
+            let manual = pred.iter().zip(&gold).filter(|(p, g)| p == g).count() as f64
+                / pred.len() as f64;
+            prop_assert!((accuracy(&pred, &gold) - manual).abs() < 1e-12);
+        }
+    }
+}

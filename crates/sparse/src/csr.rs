@@ -1,0 +1,376 @@
+//! Sparse vectors and CSR matrices.
+//!
+//! Feature matrices in the reproduction (TF-IDF document-term matrices) are
+//! stored row-wise in compressed sparse row (CSR) layout: one contiguous
+//! index buffer and one value buffer, plus row offsets. Rows expose a
+//! borrowed [`SparseRow`] view; [`SparseVec`] is the owned single-vector
+//! form used at construction time.
+
+/// An owned sparse vector: parallel `indices`/`values` arrays with strictly
+/// increasing indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec {
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    dim: usize,
+}
+
+impl SparseVec {
+    /// Build from parallel arrays. Indices must be strictly increasing and
+    /// less than `dim`; zero values are dropped.
+    pub fn new(indices: Vec<u32>, values: Vec<f32>, dim: usize) -> Self {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        let mut last: Option<u32> = None;
+        for &i in &indices {
+            assert!((i as usize) < dim, "index {i} out of dim {dim}");
+            if let Some(prev) = last {
+                assert!(i > prev, "indices must be strictly increasing");
+            }
+            last = Some(i);
+        }
+        let (indices, values) = indices
+            .into_iter()
+            .zip(values)
+            .filter(|&(_, v)| v != 0.0)
+            .unzip();
+        Self { indices, values, dim }
+    }
+
+    /// Build from (possibly unsorted, possibly duplicated) pairs, summing
+    /// duplicates — the natural constructor for bag-of-words counts.
+    pub fn from_pairs(mut pairs: Vec<(u32, f32)>, dim: usize) -> Self {
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values: Vec<f32> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            assert!((i as usize) < dim, "index {i} out of dim {dim}");
+            if indices.last() == Some(&i) {
+                *values.last_mut().expect("values non-empty") += v;
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        // Drop entries that cancelled to zero.
+        let (indices, values) = indices
+            .into_iter()
+            .zip(values)
+            .filter(|&(_, v)| v != 0.0)
+            .unzip();
+        Self { indices, values, dim }
+    }
+
+    /// The all-zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self { indices: Vec::new(), values: Vec::new(), dim }
+    }
+
+    /// Dimensionality of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Borrowed view.
+    pub fn as_row(&self) -> SparseRow<'_> {
+        SparseRow { indices: &self.indices, values: &self.values }
+    }
+
+    /// Densify into a `Vec<f32>` of length `dim`.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim];
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Scale in place.
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+
+    /// L2-normalize in place (no-op for the zero vector).
+    pub fn l2_normalize(&mut self) {
+        let norm = self.as_row().l2_norm();
+        if norm > 0.0 {
+            self.scale((1.0 / norm) as f32);
+        }
+    }
+}
+
+/// Borrowed sparse row view over parallel index/value slices.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseRow<'a> {
+    pub indices: &'a [u32],
+    pub values: &'a [f32],
+}
+
+impl<'a> SparseRow<'a> {
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterate `(index, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + 'a {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Sparse-sparse dot product via sorted merge.
+    pub fn dot(&self, other: &SparseRow<'_>) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0f64;
+        while i < self.indices.len() && j < other.indices.len() {
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.values[i] as f64 * other.values[j] as f64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Dot product against a dense weight vector.
+    pub fn dot_dense(&self, dense: &[f32]) -> f64 {
+        let mut acc = 0.0f64;
+        for (&i, &v) in self.indices.iter().zip(self.values) {
+            acc += v as f64 * dense[i as usize] as f64;
+        }
+        acc
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f64 {
+        self.values.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+
+    /// L2 norm.
+    pub fn l2_norm(&self) -> f64 {
+        self.sq_norm().sqrt()
+    }
+}
+
+/// Compressed sparse row matrix with `f32` values.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    row_offsets: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    n_cols: usize,
+}
+
+impl CsrMatrix {
+    /// Assemble from a list of owned sparse rows (all must share `n_cols`).
+    pub fn from_rows(rows: &[SparseVec], n_cols: usize) -> Self {
+        let nnz: usize = rows.iter().map(SparseVec::nnz).sum();
+        let mut row_offsets = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_offsets.push(0);
+        for r in rows {
+            assert_eq!(r.dim(), n_cols, "row dimension mismatch");
+            indices.extend_from_slice(&r.indices);
+            values.extend_from_slice(&r.values);
+            row_offsets.push(indices.len());
+        }
+        Self { row_offsets, indices, values, n_cols }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Total stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Borrow row `r`.
+    pub fn row(&self, r: usize) -> SparseRow<'_> {
+        let (lo, hi) = (self.row_offsets[r], self.row_offsets[r + 1]);
+        SparseRow { indices: &self.indices[lo..hi], values: &self.values[lo..hi] }
+    }
+
+    /// Iterate all rows in order.
+    pub fn rows(&self) -> impl Iterator<Item = SparseRow<'_>> {
+        (0..self.n_rows()).map(move |r| self.row(r))
+    }
+
+    /// L2-normalize every row in place (rows of zero norm are left as-is).
+    pub fn l2_normalize_rows(&mut self) {
+        for r in 0..self.n_rows() {
+            let (lo, hi) = (self.row_offsets[r], self.row_offsets[r + 1]);
+            let norm: f64 = self.values[lo..hi].iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                let inv = (1.0 / norm) as f32;
+                for v in &mut self.values[lo..hi] {
+                    *v *= inv;
+                }
+            }
+        }
+    }
+
+    /// Cached squared norms of every row.
+    pub fn row_sq_norms(&self) -> Vec<f64> {
+        (0..self.n_rows()).map(|r| self.row(r).sq_norm()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sv(pairs: &[(u32, f32)], dim: usize) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec(), dim)
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let v = sv(&[(3, 1.0), (1, 2.0), (3, 4.0)], 8);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(), vec![0.0, 2.0, 0.0, 5.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_pairs_drops_cancelled_entries() {
+        let v = sv(&[(2, 1.5), (2, -1.5), (4, 1.0)], 6);
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.to_dense()[4], 1.0);
+    }
+
+    #[test]
+    fn new_rejects_unsorted() {
+        let r = std::panic::catch_unwind(|| SparseVec::new(vec![2, 1], vec![1.0, 1.0], 4));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn new_rejects_out_of_dim() {
+        let r = std::panic::catch_unwind(|| SparseVec::new(vec![5], vec![1.0], 4));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn dot_matches_dense_reference() {
+        let a = sv(&[(0, 1.0), (2, 2.0), (5, -1.0)], 8);
+        let b = sv(&[(2, 3.0), (5, 4.0), (7, 9.0)], 8);
+        let dense: f64 = a
+            .to_dense()
+            .iter()
+            .zip(b.to_dense())
+            .map(|(&x, y)| x as f64 * y as f64)
+            .sum();
+        assert!((a.as_row().dot(&b.as_row()) - dense).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_dense_matches() {
+        let a = sv(&[(1, 2.0), (3, -1.0)], 5);
+        let w = vec![1.0f32, 10.0, 100.0, 1000.0, 0.5];
+        assert!((a.as_row().dot_dense(&w) - (20.0 - 1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_normalize_unit_norm() {
+        let mut v = sv(&[(0, 3.0), (1, 4.0)], 2);
+        v.l2_normalize();
+        assert!((v.as_row().l2_norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_zero_vector_noop() {
+        let mut v = SparseVec::zeros(4);
+        v.l2_normalize();
+        assert_eq!(v.nnz(), 0);
+    }
+
+    #[test]
+    fn csr_roundtrip_rows() {
+        let rows = vec![sv(&[(0, 1.0)], 4), SparseVec::zeros(4), sv(&[(1, 2.0), (3, 3.0)], 4)];
+        let m = CsrMatrix::from_rows(&rows, 4);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(0).nnz(), 1);
+        assert_eq!(m.row(1).nnz(), 0);
+        let r2: Vec<(u32, f32)> = m.row(2).iter().collect();
+        assert_eq!(r2, vec![(1, 2.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn csr_normalize_rows() {
+        let rows = vec![sv(&[(0, 3.0), (1, 4.0)], 4), SparseVec::zeros(4)];
+        let mut m = CsrMatrix::from_rows(&rows, 4);
+        m.l2_normalize_rows();
+        assert!((m.row(0).l2_norm() - 1.0).abs() < 1e-6);
+        assert_eq!(m.row(1).nnz(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_commutative(
+            a in proptest::collection::vec((0u32..64, -10.0f32..10.0), 0..20),
+            b in proptest::collection::vec((0u32..64, -10.0f32..10.0), 0..20),
+        ) {
+            let va = SparseVec::from_pairs(a, 64);
+            let vb = SparseVec::from_pairs(b, 64);
+            let d1 = va.as_row().dot(&vb.as_row());
+            let d2 = vb.as_row().dot(&va.as_row());
+            prop_assert!((d1 - d2).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_dot_matches_dense(
+            a in proptest::collection::vec((0u32..32, -5.0f32..5.0), 0..16),
+            b in proptest::collection::vec((0u32..32, -5.0f32..5.0), 0..16),
+        ) {
+            let va = SparseVec::from_pairs(a, 32);
+            let vb = SparseVec::from_pairs(b, 32);
+            let dense: f64 = va.to_dense().iter().zip(vb.to_dense())
+                .map(|(&x, y)| x as f64 * y as f64).sum();
+            prop_assert!((va.as_row().dot(&vb.as_row()) - dense).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_sq_norm_is_self_dot(
+            a in proptest::collection::vec((0u32..32, -5.0f32..5.0), 0..16),
+        ) {
+            let v = SparseVec::from_pairs(a, 32);
+            let r = v.as_row();
+            prop_assert!((r.sq_norm() - r.dot(&r)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_csr_preserves_rows(
+            rows in proptest::collection::vec(
+                proptest::collection::vec((0u32..16, 0.5f32..5.0), 0..8), 0..10),
+        ) {
+            let svs: Vec<SparseVec> =
+                rows.iter().map(|p| SparseVec::from_pairs(p.clone(), 16)).collect();
+            let m = CsrMatrix::from_rows(&svs, 16);
+            prop_assert_eq!(m.n_rows(), svs.len());
+            for (i, sv) in svs.iter().enumerate() {
+                let got: Vec<(u32, f32)> = m.row(i).iter().collect();
+                let want: Vec<(u32, f32)> = sv.as_row().iter().collect();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Distance kernels for the LF contextualizer (paper Eq. 4).
+//!
+//! The paper's contextualizer needs `dist(x, x_λ)` from each development
+//! data point to every example; in the text domain this is cosine or
+//! euclidean distance over TF-IDF vectors (Sec. 4.3, Table 9), and in the
+//! image domain the same over dense embeddings. Both sparse and dense
+//! feature storage expose a "one point vs all rows" kernel, which is the
+//! access pattern the contextualizer caches.
+
+use crate::csr::{CsrMatrix, SparseRow};
+use crate::dense::{self, DenseMatrix};
+
+/// Distance (dissimilarity) function between feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Distance {
+    /// `1 - cos(a, b)`; in `[0, 2]`. The paper's default for text (Table 9
+    /// shows it dominating euclidean).
+    #[default]
+    Cosine,
+    /// Standard euclidean distance.
+    Euclidean,
+}
+
+impl Distance {
+    /// Human-readable name used by the benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Distance::Cosine => "cosine",
+            Distance::Euclidean => "euclidean",
+        }
+    }
+
+    /// Distance between two sparse rows.
+    pub fn sparse(self, a: &SparseRow<'_>, b: &SparseRow<'_>) -> f64 {
+        match self {
+            Distance::Cosine => cosine_distance(a.dot(b), a.sq_norm(), b.sq_norm()),
+            Distance::Euclidean => {
+                // ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a·b, guarded against
+                // tiny negative round-off.
+                let sq = a.sq_norm() + b.sq_norm() - 2.0 * a.dot(b);
+                sq.max(0.0).sqrt()
+            }
+        }
+    }
+
+    /// Distance between two dense vectors.
+    pub fn dense(self, a: &[f32], b: &[f32]) -> f64 {
+        match self {
+            Distance::Cosine => {
+                let dot = dense::dot(a, b);
+                let na: f64 = a.iter().map(|&v| (v as f64) * (v as f64)).sum();
+                let nb: f64 = b.iter().map(|&v| (v as f64) * (v as f64)).sum();
+                cosine_distance(dot, na, nb)
+            }
+            Distance::Euclidean => dense::sq_euclidean(a, b).sqrt(),
+        }
+    }
+
+    /// Distances from row `pivot` of a CSR matrix to every row.
+    ///
+    /// `sq_norms` must be the cached per-row squared norms
+    /// ([`CsrMatrix::row_sq_norms`]); passing them in keeps the kernel
+    /// allocation-free across repeated calls for different pivots.
+    pub fn sparse_point_to_all(self, m: &CsrMatrix, pivot: usize, sq_norms: &[f64]) -> Vec<f64> {
+        assert_eq!(sq_norms.len(), m.n_rows(), "sq_norms length mismatch");
+        let p = m.row(pivot);
+        let pn = sq_norms[pivot];
+        let mut out = Vec::with_capacity(m.n_rows());
+        for (r, row) in m.rows().enumerate() {
+            let d = match self {
+                Distance::Cosine => cosine_distance(p.dot(&row), pn, sq_norms[r]),
+                Distance::Euclidean => {
+                    let sq = pn + sq_norms[r] - 2.0 * p.dot(&row);
+                    sq.max(0.0).sqrt()
+                }
+            };
+            out.push(d);
+        }
+        out
+    }
+
+    /// Distances from row `pivot` of a dense matrix to every row.
+    pub fn dense_point_to_all(self, m: &DenseMatrix, pivot: usize) -> Vec<f64> {
+        let p: Vec<f32> = m.row(pivot).to_vec();
+        (0..m.n_rows()).map(|r| self.dense(&p, m.row(r))).collect()
+    }
+
+    /// Distances from an arbitrary sparse `pivot` row to every row of `m`
+    /// (the pivot may come from a *different* matrix in the same feature
+    /// space, e.g. a training development point vs validation examples).
+    ///
+    /// `pivot_sq` is the pivot's squared norm; `sq_norms` the cached
+    /// per-row squared norms of `m`.
+    pub fn sparse_row_to_all(
+        self,
+        pivot: &SparseRow<'_>,
+        pivot_sq: f64,
+        m: &CsrMatrix,
+        sq_norms: &[f64],
+    ) -> Vec<f64> {
+        assert_eq!(sq_norms.len(), m.n_rows(), "sq_norms length mismatch");
+        let mut out = Vec::with_capacity(m.n_rows());
+        for (r, row) in m.rows().enumerate() {
+            let d = match self {
+                Distance::Cosine => cosine_distance(pivot.dot(&row), pivot_sq, sq_norms[r]),
+                Distance::Euclidean => {
+                    let sq = pivot_sq + sq_norms[r] - 2.0 * pivot.dot(&row);
+                    sq.max(0.0).sqrt()
+                }
+            };
+            out.push(d);
+        }
+        out
+    }
+
+    /// Distances from an arbitrary dense `pivot` vector to every row of `m`.
+    pub fn dense_row_to_all(self, pivot: &[f32], m: &DenseMatrix) -> Vec<f64> {
+        (0..m.n_rows()).map(|r| self.dense(pivot, m.row(r))).collect()
+    }
+}
+
+/// Cosine distance from precomputed dot product and squared norms.
+///
+/// Convention for degenerate inputs: if either vector is all-zero the
+/// distance is defined as `1.0` (maximally dissimilar but finite), except
+/// that the distance from the zero vector to itself is `0.0`. This keeps
+/// percentile radii well-defined for empty documents.
+fn cosine_distance(dot: f64, sq_a: f64, sq_b: f64) -> f64 {
+    if sq_a == 0.0 && sq_b == 0.0 {
+        return 0.0;
+    }
+    if sq_a == 0.0 || sq_b == 0.0 {
+        return 1.0;
+    }
+    let cos = (dot / (sq_a.sqrt() * sq_b.sqrt())).clamp(-1.0, 1.0);
+    1.0 - cos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::SparseVec;
+    use proptest::prelude::*;
+
+    fn sv(pairs: &[(u32, f32)], dim: usize) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec(), dim)
+    }
+
+    #[test]
+    fn cosine_identical_is_zero() {
+        let a = sv(&[(0, 1.0), (3, 2.0)], 8);
+        let d = Distance::Cosine.sparse(&a.as_row(), &a.as_row());
+        assert!(d.abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_one() {
+        let a = sv(&[(0, 1.0)], 4);
+        let b = sv(&[(1, 1.0)], 4);
+        let d = Distance::Cosine.sparse(&a.as_row(), &b.as_row());
+        assert!((d - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_opposite_is_two() {
+        let a = sv(&[(0, 1.0)], 4);
+        let b = sv(&[(0, -1.0)], 4);
+        let d = Distance::Cosine.sparse(&a.as_row(), &b.as_row());
+        assert!((d - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_zero_vector_convention() {
+        let z = SparseVec::zeros(4);
+        let a = sv(&[(0, 1.0)], 4);
+        assert_eq!(Distance::Cosine.sparse(&z.as_row(), &a.as_row()), 1.0);
+        assert_eq!(Distance::Cosine.sparse(&z.as_row(), &z.as_row()), 0.0);
+    }
+
+    #[test]
+    fn euclidean_matches_dense_formula() {
+        let a = sv(&[(0, 1.0), (1, 2.0)], 4);
+        let b = sv(&[(1, 4.0), (3, 2.0)], 4);
+        let want = ((1.0f64).powi(2) + (2.0f64 - 4.0).powi(2) + (2.0f64).powi(2)).sqrt();
+        let got = Distance::Euclidean.sparse(&a.as_row(), &b.as_row());
+        assert!((got - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn point_to_all_matches_pairwise_sparse() {
+        let rows = vec![
+            sv(&[(0, 1.0), (2, 1.0)], 8),
+            sv(&[(1, 3.0)], 8),
+            sv(&[(0, 1.0), (2, 1.0), (5, 2.0)], 8),
+            SparseVec::zeros(8),
+        ];
+        let m = CsrMatrix::from_rows(&rows, 8);
+        let norms = m.row_sq_norms();
+        for dist in [Distance::Cosine, Distance::Euclidean] {
+            let all = dist.sparse_point_to_all(&m, 0, &norms);
+            for (r, row) in rows.iter().enumerate() {
+                let pair = dist.sparse(&rows[0].as_row(), &row.as_row());
+                assert!((all[r] - pair).abs() < 1e-9, "{dist:?} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_point_to_all_matches_pairwise() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        for dist in [Distance::Cosine, Distance::Euclidean] {
+            let all = dist.dense_point_to_all(&m, 2);
+            for r in 0..3 {
+                let pair = dist.dense(m.row(2), m.row(r));
+                assert!((all[r] - pair).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_row_to_all_cross_matrix() {
+        let train = CsrMatrix::from_rows(&[sv(&[(0, 1.0), (2, 1.0)], 8)], 8);
+        let valid_rows = vec![sv(&[(0, 1.0), (2, 1.0)], 8), sv(&[(1, 1.0)], 8)];
+        let valid = CsrMatrix::from_rows(&valid_rows, 8);
+        let norms = valid.row_sq_norms();
+        let pivot = train.row(0);
+        let pivot_sq = pivot.sq_norm();
+        for dist in [Distance::Cosine, Distance::Euclidean] {
+            let all = dist.sparse_row_to_all(&pivot, pivot_sq, &valid, &norms);
+            for (r, row) in valid_rows.iter().enumerate() {
+                let pair = dist.sparse(&pivot, &row.as_row());
+                assert!((all[r] - pair).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_row_to_all_matches() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.5, 0.5]]);
+        let pivot = [0.0f32, 1.0];
+        for dist in [Distance::Cosine, Distance::Euclidean] {
+            let all = dist.dense_row_to_all(&pivot, &m);
+            for r in 0..2 {
+                assert!((all[r] - dist.dense(&pivot, m.row(r))).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn names_stable() {
+        assert_eq!(Distance::Cosine.name(), "cosine");
+        assert_eq!(Distance::Euclidean.name(), "euclidean");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cosine_in_range(
+            a in proptest::collection::vec((0u32..32, -5.0f32..5.0), 1..12),
+            b in proptest::collection::vec((0u32..32, -5.0f32..5.0), 1..12),
+        ) {
+            let va = SparseVec::from_pairs(a, 32);
+            let vb = SparseVec::from_pairs(b, 32);
+            let d = Distance::Cosine.sparse(&va.as_row(), &vb.as_row());
+            prop_assert!((-1e-9..=2.0 + 1e-9).contains(&d));
+        }
+
+        #[test]
+        fn prop_euclidean_symmetric_nonneg(
+            a in proptest::collection::vec((0u32..32, -5.0f32..5.0), 0..12),
+            b in proptest::collection::vec((0u32..32, -5.0f32..5.0), 0..12),
+        ) {
+            let va = SparseVec::from_pairs(a, 32);
+            let vb = SparseVec::from_pairs(b, 32);
+            let d1 = Distance::Euclidean.sparse(&va.as_row(), &vb.as_row());
+            let d2 = Distance::Euclidean.sparse(&vb.as_row(), &va.as_row());
+            prop_assert!(d1 >= 0.0);
+            prop_assert!((d1 - d2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_euclidean_triangle_inequality(
+            a in proptest::collection::vec((0u32..16, -3.0f32..3.0), 0..8),
+            b in proptest::collection::vec((0u32..16, -3.0f32..3.0), 0..8),
+            c in proptest::collection::vec((0u32..16, -3.0f32..3.0), 0..8),
+        ) {
+            let va = SparseVec::from_pairs(a, 16);
+            let vb = SparseVec::from_pairs(b, 16);
+            let vc = SparseVec::from_pairs(c, 16);
+            let ab = Distance::Euclidean.sparse(&va.as_row(), &vb.as_row());
+            let bc = Distance::Euclidean.sparse(&vb.as_row(), &vc.as_row());
+            let ac = Distance::Euclidean.sparse(&va.as_row(), &vc.as_row());
+            prop_assert!(ac <= ab + bc + 1e-6);
+        }
+    }
+}

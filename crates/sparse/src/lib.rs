@@ -1,0 +1,24 @@
+//! # nemo-sparse
+//!
+//! Numeric substrate for the Nemo reproduction: sparse and dense vectors,
+//! distance kernels, an inverted index, deterministic random-number helpers,
+//! and the small statistics toolbox (entropy, percentiles, softmax) that the
+//! rest of the system is built on.
+//!
+//! Everything here is deliberately dependency-light and deterministic: all
+//! randomness flows through [`rng::DetRng`], which wraps a seeded
+//! [`rand::rngs::StdRng`] so that every experiment in the benchmark harness
+//! is exactly reproducible from its seed.
+
+pub mod csr;
+pub mod dense;
+pub mod distance;
+pub mod index;
+pub mod rng;
+pub mod stats;
+
+pub use csr::{CsrMatrix, SparseVec};
+pub use dense::DenseMatrix;
+pub use distance::Distance;
+pub use index::InvertedIndex;
+pub use rng::DetRng;

@@ -1,0 +1,286 @@
+//! Small statistics toolbox: entropy, percentiles, softmax, summary stats.
+//!
+//! These implement the exact quantities the paper's formulas require:
+//! the label-model uncertainty `ψ_t(x_i) = −Σ_y P(y|Λ_t) log P(y|Λ_t)`
+//! (Eq. 3), the `p`-th percentile refinement radius (Sec. 4.3), and the
+//! numerically-stable log-space helpers the models use.
+
+/// Shannon entropy (natural log) of a discrete distribution.
+///
+/// Zero-probability entries contribute zero (the `0·log 0 = 0` convention).
+/// The input need not be perfectly normalized; small drift is tolerated.
+pub fn entropy(probs: &[f64]) -> f64 {
+    let mut h = 0.0;
+    for &p in probs {
+        if p > 0.0 {
+            h -= p * p.ln();
+        }
+    }
+    h.max(0.0)
+}
+
+/// Binary entropy of `P(y = +1) = p`.
+#[inline]
+pub fn binary_entropy(p: f64) -> f64 {
+    entropy(&[p, 1.0 - p])
+}
+
+/// The `p`-th percentile (p in [0, 100]) of `values` using linear
+/// interpolation between closest ranks (the "linear" / type-7 method).
+///
+/// This is the radius rule of the contextualizer: `r_j` is the `p`-th
+/// percentile of distances from the development point to every example.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile p out of range: {p}");
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// `percentile` over an already-sorted slice (ascending). Use when the same
+/// distance vector is queried at several `p` values.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile p out of range: {p}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Numerically-stable log-sum-exp.
+pub fn logsumexp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() && m < 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Numerically-stable softmax.
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    let lse = logsumexp(xs);
+    xs.iter().map(|&x| (x - lse).exp()).collect()
+}
+
+/// Logistic sigmoid with guard against overflow.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Mean of a slice (0.0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0.0 for fewer than two values).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Index of the maximum value, with *deterministic* first-occurrence
+/// tie-breaking. Panics on empty input.
+pub fn argmax(xs: &[f64]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// All indices attaining the maximum (for randomized tie-breaking by the
+/// selection strategies, which matters when scores are flat early on).
+pub fn argmax_set(xs: &[f64]) -> Vec<usize> {
+    assert!(!xs.is_empty(), "argmax_set of empty slice");
+    let mx = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    xs.iter()
+        .enumerate()
+        .filter(|&(_, &x)| x == mx)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// KL divergence `KL(p ‖ q)` for discrete distributions (natural log).
+/// Entries where `p == 0` contribute zero; `q` entries are floored at a tiny
+/// epsilon to keep the result finite.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    let eps = 1e-12;
+    p.iter()
+        .zip(q)
+        .filter(|&(&pi, _)| pi > 0.0)
+        .map(|(&pi, &qi)| pi * (pi / qi.max(eps)).ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn entropy_uniform_binary() {
+        assert!((binary_entropy(0.5) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_degenerate_zero() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+    }
+
+    #[test]
+    fn entropy_symmetric() {
+        assert!((binary_entropy(0.3) - binary_entropy(0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let v = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert!((percentile(&v, 25.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 33.0), 7.0);
+    }
+
+    #[test]
+    fn logsumexp_stable_for_large_inputs() {
+        let v = [1000.0, 1000.0];
+        assert!((logsumexp(&v) - (1000.0 + std::f64::consts::LN_2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logsumexp_empty_like() {
+        assert_eq!(logsumexp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let s = softmax(&[1.0, 2.0, 3.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.138_089_935).abs() < 1e-6);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax_set(&[1.0, 3.0, 3.0]), vec![1, 2]);
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.2, 0.8];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_for_different() {
+        assert!(kl_divergence(&[0.9, 0.1], &[0.5, 0.5]) > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_entropy_nonneg_bounded(p in 0.0f64..=1.0) {
+            let h = binary_entropy(p);
+            prop_assert!(h >= 0.0);
+            prop_assert!(h <= std::f64::consts::LN_2 + 1e-12);
+        }
+
+        #[test]
+        fn prop_softmax_is_distribution(
+            xs in proptest::collection::vec(-50.0f64..50.0, 1..10),
+        ) {
+            let s = softmax(&xs);
+            prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+
+        #[test]
+        fn prop_percentile_monotone_in_p(
+            mut v in proptest::collection::vec(-100.0f64..100.0, 2..40),
+            p1 in 0.0f64..=100.0,
+            p2 in 0.0f64..=100.0,
+        ) {
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(percentile_of_sorted(&v, lo) <= percentile_of_sorted(&v, hi) + 1e-12);
+        }
+
+        #[test]
+        fn prop_percentile_within_range(
+            v in proptest::collection::vec(-100.0f64..100.0, 1..40),
+            p in 0.0f64..=100.0,
+        ) {
+            let x = percentile(&v, p);
+            let mn = v.iter().copied().fold(f64::INFINITY, f64::min);
+            let mx = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(x >= mn - 1e-12 && x <= mx + 1e-12);
+        }
+
+        #[test]
+        fn prop_kl_nonneg(
+            a in proptest::collection::vec(0.01f64..1.0, 2..6),
+        ) {
+            let total_a: f64 = a.iter().sum();
+            let p: Vec<f64> = a.iter().map(|x| x / total_a).collect();
+            let n = p.len() as f64;
+            let q: Vec<f64> = vec![1.0 / n; p.len()];
+            prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! N-gram extraction.
+//!
+//! The paper instantiates the primitive domain `Z` as uni-grams; the LF
+//! family definition (Sec. 4) allows any domain-specific primitive, so we
+//! also support higher-order n-grams (joined with `'_'`) for users who want
+//! phrase-level LFs.
+
+/// Extract all contiguous n-grams of size `1..=max_n` from a token sequence.
+/// N-grams of order > 1 are joined with underscores (`"not_good"`).
+pub fn ngrams(tokens: &[impl AsRef<str>], max_n: usize) -> Vec<String> {
+    assert!(max_n >= 1, "max_n must be >= 1");
+    let toks: Vec<&str> = tokens.iter().map(AsRef::as_ref).collect();
+    let mut out = Vec::with_capacity(toks.len() * max_n);
+    for n in 1..=max_n {
+        if n > toks.len() {
+            break;
+        }
+        for window in toks.windows(n) {
+            out.push(window.join("_"));
+        }
+    }
+    out
+}
+
+/// Extract only the order-`n` n-grams.
+pub fn ngrams_of_order(tokens: &[impl AsRef<str>], n: usize) -> Vec<String> {
+    assert!(n >= 1, "n must be >= 1");
+    let toks: Vec<&str> = tokens.iter().map(AsRef::as_ref).collect();
+    if n > toks.len() {
+        return Vec::new();
+    }
+    toks.windows(n).map(|w| w.join("_")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unigrams_identity() {
+        let t = ["a", "b", "c"];
+        assert_eq!(ngrams(&t, 1), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn bigrams_included() {
+        let t = ["not", "good"];
+        assert_eq!(ngrams(&t, 2), vec!["not", "good", "not_good"]);
+    }
+
+    #[test]
+    fn order_larger_than_doc() {
+        let t = ["only"];
+        assert_eq!(ngrams(&t, 3), vec!["only"]);
+        assert!(ngrams_of_order(&t, 2).is_empty());
+    }
+
+    #[test]
+    fn trigram_counts() {
+        let t = ["a", "b", "c", "d"];
+        assert_eq!(ngrams_of_order(&t, 3), vec!["a_b_c", "b_c_d"]);
+        // total = 4 uni + 3 bi + 2 tri
+        assert_eq!(ngrams(&t, 3).len(), 9);
+    }
+
+    #[test]
+    fn empty_tokens() {
+        let t: [&str; 0] = [];
+        assert!(ngrams(&t, 2).is_empty());
+    }
+}

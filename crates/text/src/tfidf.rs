@@ -1,0 +1,197 @@
+//! TF-IDF featurization (the paper's text feature representation, Sec. 5.1).
+//!
+//! Fitted on the training split only (IDF statistics must not leak from
+//! validation/test), then applied to any split. Uses smoothed IDF
+//! `ln((1 + N) / (1 + df)) + 1` and optional L2 row normalization (the
+//! default, which makes cosine distance equal to 1 − dot product).
+
+use nemo_sparse::{CsrMatrix, SparseVec};
+use std::collections::HashMap;
+
+/// Configuration for [`TfIdf`].
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    /// Use sublinear term frequency `1 + ln(tf)` instead of raw counts.
+    pub sublinear_tf: bool,
+    /// L2-normalize each document vector.
+    pub l2_normalize: bool,
+}
+
+impl Default for TfIdf {
+    fn default() -> Self {
+        Self { sublinear_tf: true, l2_normalize: true }
+    }
+}
+
+impl TfIdf {
+    /// Fit IDF statistics on training documents (encoded as token-id
+    /// sequences over a vocabulary of size `n_features`).
+    pub fn fit(&self, train_docs: &[Vec<u32>], n_features: usize) -> TfIdfModel {
+        let mut df = vec![0u32; n_features];
+        for doc in train_docs {
+            let mut seen = doc.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for &t in &seen {
+                df[t as usize] += 1;
+            }
+        }
+        let n = train_docs.len() as f64;
+        let idf: Vec<f32> = df
+            .iter()
+            .map(|&d| (((1.0 + n) / (1.0 + d as f64)).ln() + 1.0) as f32)
+            .collect();
+        TfIdfModel { idf, config: self.clone(), n_features }
+    }
+}
+
+/// A fitted TF-IDF transform.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    idf: Vec<f32>,
+    config: TfIdf,
+    n_features: usize,
+}
+
+impl TfIdfModel {
+    /// Feature-space dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// IDF weight of feature `t`.
+    pub fn idf(&self, t: u32) -> f32 {
+        self.idf[t as usize]
+    }
+
+    /// Transform one document (token-id sequence) into a sparse vector.
+    pub fn transform_doc(&self, doc: &[u32]) -> SparseVec {
+        let mut counts: HashMap<u32, u32> = HashMap::with_capacity(doc.len());
+        for &t in doc {
+            debug_assert!((t as usize) < self.n_features);
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let pairs: Vec<(u32, f32)> = counts
+            .into_iter()
+            .map(|(t, c)| {
+                let tf = if self.config.sublinear_tf {
+                    1.0 + (c as f32).ln()
+                } else {
+                    c as f32
+                };
+                (t, tf * self.idf[t as usize])
+            })
+            .collect();
+        let mut v = SparseVec::from_pairs(pairs, self.n_features);
+        if self.config.l2_normalize {
+            v.l2_normalize();
+        }
+        v
+    }
+
+    /// Transform a corpus into a CSR feature matrix.
+    pub fn transform(&self, docs: &[Vec<u32>]) -> CsrMatrix {
+        let rows: Vec<SparseVec> = docs.iter().map(|d| self.transform_doc(d)).collect();
+        CsrMatrix::from_rows(&rows, self.n_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn corpus() -> Vec<Vec<u32>> {
+        // feature 0 everywhere (low idf), feature 1 rare (high idf)
+        vec![vec![0, 0, 1], vec![0], vec![0], vec![0]]
+    }
+
+    #[test]
+    fn idf_orders_by_rarity() {
+        let model = TfIdf::default().fit(&corpus(), 3);
+        assert!(model.idf(1) > model.idf(0));
+        // feature 2 never appears: max idf
+        assert!(model.idf(2) > model.idf(1));
+    }
+
+    #[test]
+    fn rows_are_unit_norm() {
+        let model = TfIdf::default().fit(&corpus(), 3);
+        let m = model.transform(&corpus());
+        for row in m.rows() {
+            if row.nnz() > 0 {
+                assert!((row.l2_norm() - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_doc_gives_zero_row() {
+        let model = TfIdf::default().fit(&corpus(), 3);
+        let v = model.transform_doc(&[]);
+        assert_eq!(v.nnz(), 0);
+    }
+
+    #[test]
+    fn raw_tf_counts_multiplicity() {
+        let cfg = TfIdf { sublinear_tf: false, l2_normalize: false };
+        let model = cfg.fit(&vec![vec![0], vec![1]], 2);
+        let v = model.transform_doc(&[0, 0, 0]);
+        let dense = v.to_dense();
+        assert!((dense[0] / model.idf(0) - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sublinear_tf_dampens() {
+        let cfg = TfIdf { sublinear_tf: true, l2_normalize: false };
+        let model = cfg.fit(&vec![vec![0], vec![1]], 2);
+        let v1 = model.transform_doc(&[0]).to_dense()[0];
+        let v8 = model.transform_doc(&[0; 8]).to_dense()[0];
+        assert!(v8 > v1);
+        assert!(v8 < 8.0 * v1);
+    }
+
+    #[test]
+    fn transform_shape() {
+        let model = TfIdf::default().fit(&corpus(), 3);
+        let m = model.transform(&corpus());
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.n_cols(), 3);
+    }
+
+    #[test]
+    fn idf_no_leakage_from_transform_corpus() {
+        // Fitting on train only: transforming unseen docs reuses train IDF.
+        let model = TfIdf::default().fit(&corpus(), 3);
+        let before = model.idf(2);
+        let _ = model.transform(&vec![vec![2, 2], vec![2]]);
+        assert_eq!(model.idf(2), before);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nnz_equals_distinct_tokens(
+            doc in proptest::collection::vec(0u32..16, 0..40),
+        ) {
+            let train: Vec<Vec<u32>> = vec![(0..16).collect()];
+            let model = TfIdf::default().fit(&train, 16);
+            let v = model.transform_doc(&doc);
+            let mut distinct = doc.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(v.nnz(), distinct.len());
+        }
+
+        #[test]
+        fn prop_values_positive(
+            doc in proptest::collection::vec(0u32..8, 1..20),
+        ) {
+            let train: Vec<Vec<u32>> = vec![(0..8).collect(), vec![0, 1]];
+            let model = TfIdf::default().fit(&train, 8);
+            let v = model.transform_doc(&doc);
+            for (_, val) in v.as_row().iter() {
+                prop_assert!(val > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Whitespace/punctuation tokenizer with lowercasing.
+//!
+//! The synthetic generators emit pre-tokenized documents, but the public API
+//! accepts raw strings (as a real deployment would), so the facade and the
+//! examples run text through this tokenizer first.
+
+/// Tokenize a string: lowercase, split on any non-alphanumeric character,
+/// drop empty tokens and tokens longer than 64 bytes (noise guard).
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty() && t.len() <= 64)
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Tokenize into borrowed slices when no lowercasing is required
+/// (pre-normalized input); avoids per-token allocations.
+pub fn tokenize_borrowed(text: &str) -> Vec<&str> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty() && t.len() <= 64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation() {
+        assert_eq!(tokenize("Perfect, for my work-outs!"), vec!["perfect", "for", "my", "work", "outs"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("GREAT Product"), vec!["great", "product"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  ,,, !!").is_empty());
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize("win 1000 dollars"), vec!["win", "1000", "dollars"]);
+    }
+
+    #[test]
+    fn drops_very_long_tokens() {
+        let long = "a".repeat(65);
+        assert!(tokenize(&long).is_empty());
+        let ok = "a".repeat(64);
+        assert_eq!(tokenize(&ok).len(), 1);
+    }
+
+    #[test]
+    fn borrowed_matches_owned_for_lowercase_input() {
+        let s = "already lower case text 42";
+        let owned = tokenize(s);
+        let borrowed: Vec<String> = tokenize_borrowed(s).iter().map(|t| t.to_string()).collect();
+        assert_eq!(owned, borrowed);
+    }
+}

@@ -1,0 +1,57 @@
+//! Spam filtering under heavy class imbalance (the paper's SMS task,
+//! evaluated with F1): compare Nemo with the prevailing Snorkel workflow
+//! and with classic uncertainty-sampling active learning, all under the
+//! same 40-query budget.
+//!
+//! ```text
+//! cargo run --release --example spam_filtering
+//! ```
+
+use nemo::baselines::{run_method, Method, RunSpec};
+use nemo::core::IdpConfig;
+use nemo::data::catalog;
+use nemo::data::{DatasetName, Profile};
+use nemo::sparse::stats::mean;
+
+fn main() {
+    let dataset = catalog::build(DatasetName::Sms, Profile::Smoke, 23);
+    println!(
+        "dataset: {} — {} messages, {:.1}% spam, metric = {}",
+        dataset.name,
+        dataset.train.n(),
+        100.0 * dataset.train.pos_frac(),
+        dataset.metric.name()
+    );
+
+    let methods = [Method::Nemo, Method::ClOnly, Method::Snorkel, Method::Us];
+    println!("\n40 interactive iterations, 2 seeds, evaluation every 5 (test F1):\n");
+    for method in methods {
+        let mut summaries = Vec::new();
+        let mut finals = Vec::new();
+        for seed in 0..2u64 {
+            let spec = RunSpec {
+                idp: IdpConfig {
+                    n_iterations: 40,
+                    eval_every: 5,
+                    seed: 100 + seed,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let curve = run_method(method, &dataset, &spec);
+            summaries.push(curve.summary());
+            finals.push(curve.final_score());
+        }
+        println!(
+            "  {:<16} curve F1 {:.3}   final F1 {:.3}",
+            method.name(),
+            mean(&summaries),
+            mean(&finals)
+        );
+    }
+    println!(
+        "\nUnder imbalance, one labeling function covers many messages per query, while\n\
+         active learning buys exactly one label — and rarely a spam one. Contextualized\n\
+         refinement additionally strips spam-keyword votes that over-generalize onto ham."
+    );
+}

@@ -1,0 +1,72 @@
+//! # nemo — Interactive Data Programming (VLDB 2022 reproduction)
+//!
+//! A from-scratch Rust implementation of **"Nemo: Guiding and
+//! Contextualizing Weak Supervision for Interactive Data Programming"**
+//! (Hsieh, Zhang, Ratner; PVLDB 15(13), 2022), including the complete
+//! data-programming substrate it runs on and every baseline from the
+//! paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nemo::core::{IdpConfig, NemoSystem};
+//! use nemo::core::oracle::SimulatedUser;
+//! use nemo::data::catalog::toy_text;
+//!
+//! // A small 4-cluster sentiment dataset (Figure 3's toy setting).
+//! let dataset = toy_text(42);
+//!
+//! // Nemo = SEU development-data selection + contextualized learning.
+//! let config = IdpConfig { n_iterations: 10, eval_every: 5, ..Default::default() };
+//! let mut nemo = NemoSystem::new(&dataset, config);
+//!
+//! // Drive the interactive loop with the paper's simulated user.
+//! let mut user = SimulatedUser::default();
+//! let curve = nemo.run_with_user(&mut user);
+//! assert!(curve.final_score() > 0.5);
+//! ```
+//!
+//! Driving the loop with a *real* user instead:
+//!
+//! ```
+//! use nemo::core::{IdpConfig, NemoSystem};
+//! use nemo::data::catalog::toy_text;
+//! use nemo::lf::{Label, PrimitiveLf};
+//!
+//! let dataset = toy_text(42);
+//! let mut nemo = NemoSystem::new(&dataset, IdpConfig::default());
+//!
+//! // 1. Nemo suggests the most useful development example.
+//! let x = nemo.suggest_example().expect("pool is non-empty");
+//!
+//! // 2. Inspect it (here: its candidate primitives), optionally explore
+//! //    other examples containing a primitive, then write an LF.
+//! let z = dataset.train.corpus.primitives_of(x)[0];
+//! let _similar = nemo.explore_primitive(z, 5);
+//! nemo.submit_lf(PrimitiveLf::new(z, Label::Pos));
+//!
+//! // 3. Models are re-learned with the LF's development context.
+//! assert_eq!(nemo.lineage().len(), 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `nemo-core` | the paper's contribution: SEU selector, LF contextualizer, IDP loop, simulated users, `NemoSystem` |
+//! | [`baselines`] | `nemo-baselines` | Snorkel, Snorkel-Abs/Dis, ImplyLoss-L, US, BALD, IWS-LSE, Active WeaSuL, and the unified method runner |
+//! | [`labelmodel`] | `nemo-labelmodel` | majority vote, moment-based (MeTaL-style) and EM label models |
+//! | [`endmodel`] | `nemo-endmodel` | logistic regression on soft labels, Adam, bootstrap ensembles |
+//! | [`lf`] | `nemo-lf` | labels, primitive LFs, label matrix, lineage, metrics |
+//! | [`data`] | `nemo-data` | dataset abstraction + the six synthetic catalog datasets |
+//! | [`text`] | `nemo-text` | tokenizer, vocabulary, n-grams, TF-IDF |
+//! | [`sparse`] | `nemo-sparse` | CSR matrices, distances, inverted index, deterministic RNG, stats |
+
+pub use nemo_baselines as baselines;
+pub use nemo_core as core;
+pub use nemo_data as data;
+pub use nemo_endmodel as endmodel;
+pub use nemo_labelmodel as labelmodel;
+pub use nemo_lf as lf;
+pub use nemo_sparse as sparse;
+pub use nemo_text as text;
