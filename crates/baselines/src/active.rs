@@ -24,12 +24,7 @@ pub trait Acquisition {
     /// Score every training example (higher = more informative). Called
     /// with the current labeled set; implementations fit whatever model
     /// they need internally.
-    fn scores(
-        &self,
-        ds: &Dataset,
-        labeled: &[(u32, Label)],
-        seed: u64,
-    ) -> Vec<f64>;
+    fn scores(&self, ds: &Dataset, labeled: &[(u32, Label)], seed: u64) -> Vec<f64>;
 }
 
 /// Uncertainty sampling: predictive entropy of the current classifier.
@@ -43,11 +38,7 @@ impl Acquisition for UncertaintyAcquisition {
 
     fn scores(&self, ds: &Dataset, labeled: &[(u32, Label)], seed: u64) -> Vec<f64> {
         let model = fit_on_labeled(ds, labeled, seed);
-        model
-            .predict_proba(ds.train.features.csr())
-            .into_iter()
-            .map(binary_entropy)
-            .collect()
+        model.predict_proba(ds.train.features.csr()).into_iter().map(binary_entropy).collect()
     }
 }
 
@@ -74,10 +65,8 @@ impl Acquisition for BaldAcquisition {
         let (targets, idx) = targets_of(ds, labeled);
         let ens = BootstrapEnsemble { n_models: self.n_models, ..Default::default() };
         let members = ens.fit(ds.train.features.csr(), &targets, &idx, seed);
-        let probs: Vec<Vec<f64>> = members
-            .iter()
-            .map(|m| m.predict_proba(ds.train.features.csr()))
-            .collect();
+        let probs: Vec<Vec<f64>> =
+            members.iter().map(|m| m.predict_proba(ds.train.features.csr())).collect();
         bald_scores(&probs)
     }
 }
@@ -156,16 +145,32 @@ mod tests {
 
     #[test]
     fn us_learns_on_toy() {
+        // 30 true labels on the toy task leave substantial per-seed
+        // variance; assert the seed-averaged final score beats chance.
         let ds = toy_text(1);
-        let curve = ActiveLearning::new(UncertaintyAcquisition).run(&ds, &config(30, 1));
-        assert!(curve.final_score() > 0.5, "US final {}", curve.final_score());
+        let mean = (0..5)
+            .map(|seed| {
+                ActiveLearning::new(UncertaintyAcquisition)
+                    .run(&ds, &config(30, seed))
+                    .final_score()
+            })
+            .sum::<f64>()
+            / 5.0;
+        assert!(mean > 0.5, "US mean final {mean}");
     }
 
     #[test]
     fn bald_learns_on_toy() {
         let ds = toy_text(1);
-        let curve = ActiveLearning::new(BaldAcquisition { n_models: 4 }).run(&ds, &config(30, 2));
-        assert!(curve.final_score() > 0.5, "BALD final {}", curve.final_score());
+        let mean = (0..5)
+            .map(|seed| {
+                ActiveLearning::new(BaldAcquisition { n_models: 4 })
+                    .run(&ds, &config(30, seed))
+                    .final_score()
+            })
+            .sum::<f64>()
+            / 5.0;
+        assert!(mean > 0.5, "BALD mean final {mean}");
     }
 
     #[test]

@@ -142,8 +142,42 @@ impl ImplyLossPipeline {
                 nets.c[j] -= cfg.lr * dh;
             }
         }
+        // Post-hoc intercept calibration. Every imply/exemplar update
+        // pushes the bias toward the label of the rule being visited, so
+        // with imbalanced rule labels the bias absorbs the imbalance and
+        // the classifier predicts a single class on the (uncovered)
+        // majority of the pool. Re-center the intercept so the mean
+        // predicted probability over the training pool matches the
+        // dataset's class prior (which the paper's protocol treats as
+        // known; cf. `Dataset::prior`).
+        nets.b += calibrate_intercept(x, &nets, ds.class_prior_pos);
         nets
     }
+}
+
+/// Solve the intercept shift `δ` with `mean_i sigmoid(z_i + δ) = target`
+/// by bisection (the mean is monotone in `δ`; Newton diverges when the
+/// sigmoids saturate).
+fn calibrate_intercept(x: &CsrMatrix, nets: &Nets, target: f64) -> f64 {
+    let z: Vec<f64> = (0..x.n_rows()).map(|i| x.row(i).dot_dense(&nets.w) + nets.b).collect();
+    if z.is_empty() {
+        return 0.0;
+    }
+    let n = z.len() as f64;
+    let mean_prob = |delta: f64| z.iter().map(|&zi| sigmoid(zi + delta)).sum::<f64>() / n;
+    let (mut lo, mut hi) = (-30.0, 30.0);
+    if mean_prob(lo) > target || mean_prob(hi) < target {
+        return 0.0;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if mean_prob(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
 }
 
 impl LearningPipeline for ImplyLossPipeline {
@@ -192,7 +226,13 @@ mod tests {
     fn empty_lineage_gives_prior() {
         let ds = toy_text(1);
         let mut p = ImplyLossPipeline::default();
-        let out = p.learn(&Lineage::new(), &LabelMatrix::new(ds.train.n()), &ds, &IdpConfig::default(), 0);
+        let out = p.learn(
+            &Lineage::new(),
+            &LabelMatrix::new(ds.train.n()),
+            &ds,
+            &IdpConfig::default(),
+            0,
+        );
         assert!((out.train_probs[0] - ds.class_prior_pos).abs() < 1e-9);
     }
 
@@ -254,10 +294,7 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!(
-            wins * 2 >= total,
-            "gates should favor their exemplars ({wins}/{total})"
-        );
+        assert!(wins * 2 >= total, "gates should favor their exemplars ({wins}/{total})");
     }
 
     #[test]

@@ -54,7 +54,13 @@ pub struct IwsConfig {
 
 impl Default for IwsConfig {
     fn default() -> Self {
-        Self { min_df: 5, projection_dim: 24, include_threshold: 0.75, epsilon: 0.3, usefulness_margin: 0.1 }
+        Self {
+            min_df: 5,
+            projection_dim: 24,
+            include_threshold: 0.75,
+            epsilon: 0.3,
+            usefulness_margin: 0.1,
+        }
     }
 }
 
@@ -139,8 +145,7 @@ impl IwsLse {
 
         let bar = user_threshold + self.config.usefulness_margin;
         let oracle = |lf: &PrimitiveLf| -> bool {
-            lf.accuracy_against(&ds.train.corpus, &ds.train.labels)
-                .is_some_and(|acc| acc >= bar)
+            lf.accuracy_against(&ds.train.corpus, &ds.train.labels).is_some_and(|acc| acc >= bar)
         };
 
         let mut usefulness: Vec<f64> = vec![0.5; n_cand];
@@ -161,8 +166,14 @@ impl IwsLse {
                     answers[pick] = if oracle(&lfs[pick]) { 1.0 } else { 0.0 };
 
                     // Refit the usefulness model on all feedback so far.
-                    let idx: Vec<u32> = (0..n_cand as u32).filter(|&j| queried[j as usize]).collect();
-                    let model = trainer.fit(&features, &answers, Some(&idx), config.seed.wrapping_add(t as u64));
+                    let idx: Vec<u32> =
+                        (0..n_cand as u32).filter(|&j| queried[j as usize]).collect();
+                    let model = trainer.fit(
+                        &features,
+                        &answers,
+                        Some(&idx),
+                        config.seed.wrapping_add(t as u64),
+                    );
                     usefulness = model.predict_proba(&features);
                     for j in 0..n_cand {
                         if queried[j] {
@@ -173,7 +184,10 @@ impl IwsLse {
             }
 
             if (t + 1) % config.eval_every == 0 {
-                curve.push(t + 1, self.evaluate(ds, config, &lfs, &queried, &answers, &usefulness, t as u64));
+                curve.push(
+                    t + 1,
+                    self.evaluate(ds, config, &lfs, &queried, &answers, &usefulness, t as u64),
+                );
             }
         }
         curve
@@ -211,12 +225,24 @@ impl IwsLse {
             any = true;
         }
         if std::env::var("NEMO_IWS_DEBUG").is_ok() {
-            let accs: Vec<f64> = confirmed.iter().chain(extra.iter())
-                .map(|&j| lfs[j].accuracy_against(&ds.train.corpus, &ds.train.labels).unwrap_or(0.0))
+            let accs: Vec<f64> = confirmed
+                .iter()
+                .chain(extra.iter())
+                .map(|&j| {
+                    lfs[j].accuracy_against(&ds.train.corpus, &ds.train.labels).unwrap_or(0.0)
+                })
                 .collect();
-            let mean = if accs.is_empty() { 0.0 } else { accs.iter().sum::<f64>() / accs.len() as f64 };
-            let pos = confirmed.iter().chain(extra.iter()).filter(|&&j| lfs[j].y == Label::Pos).count();
-            eprintln!("[iws] confirmed={} extra={} pos={} mean_acc={:.3}", confirmed.len(), extra.len(), pos, mean);
+            let mean =
+                if accs.is_empty() { 0.0 } else { accs.iter().sum::<f64>() / accs.len() as f64 };
+            let pos =
+                confirmed.iter().chain(extra.iter()).filter(|&&j| lfs[j].y == Label::Pos).count();
+            eprintln!(
+                "[iws] confirmed={} extra={} pos={} mean_acc={:.3}",
+                confirmed.len(),
+                extra.len(),
+                pos,
+                mean
+            );
         }
         if !any {
             let prior_pred = vec![label_from_prob(ds.class_prior_pos); ds.test.n()];
@@ -298,8 +324,7 @@ mod tests {
         let passing = lfs
             .iter()
             .filter(|lf| {
-                lf.accuracy_against(&ds.train.corpus, &ds.train.labels)
-                    .is_some_and(|a| a >= bar)
+                lf.accuracy_against(&ds.train.corpus, &ds.train.labels).is_some_and(|a| a >= bar)
             })
             .count();
         assert!(passing > 0, "toy family must contain confirmable LFs");

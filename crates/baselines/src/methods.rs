@@ -152,12 +152,9 @@ pub fn run_method(method: Method, ds: &Dataset, spec: &RunSpec) -> LearningCurve
         Method::SnorkelDis => {
             idp_run(ds, spec, Box::new(DisagreeSelector), Box::new(StandardPipeline))
         }
-        Method::ImplyLossL => idp_run(
-            ds,
-            spec,
-            Box::new(RandomSelector),
-            Box::new(ImplyLossPipeline::default()),
-        ),
+        Method::ImplyLossL => {
+            idp_run(ds, spec, Box::new(RandomSelector), Box::new(ImplyLossPipeline::default()))
+        }
         Method::Us => ActiveLearning::new(UncertaintyAcquisition).run(ds, &spec.idp),
         Method::Bald => ActiveLearning::new(BaldAcquisition::default()).run(ds, &spec.idp),
         Method::IwsLse => IwsLse::default().run(ds, &spec.idp, spec.user_threshold),
@@ -171,12 +168,9 @@ pub fn run_method(method: Method, ds: &Dataset, spec: &RunSpec) -> LearningCurve
         Method::SeuOnly => {
             idp_run(ds, spec, Box::new(SeuSelector::new()), Box::new(StandardPipeline))
         }
-        Method::ClOnly => idp_run(
-            ds,
-            spec,
-            Box::new(RandomSelector),
-            Box::new(ContextualizedPipeline::default()),
-        ),
+        Method::ClOnly => {
+            idp_run(ds, spec, Box::new(RandomSelector), Box::new(ContextualizedPipeline::default()))
+        }
         Method::SeuUniformUserModel => idp_run(
             ds,
             spec,
@@ -253,7 +247,17 @@ mod tests {
         let names: Vec<&str> = Method::TABLE2.iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["Nemo", "Snorkel", "Snorkel-Abs", "Snorkel-Dis", "ImplyLoss-L", "US", "IWS-LSE", "BALD", "AW"]
+            vec![
+                "Nemo",
+                "Snorkel",
+                "Snorkel-Abs",
+                "Snorkel-Dis",
+                "ImplyLoss-L",
+                "US",
+                "IWS-LSE",
+                "BALD",
+                "AW"
+            ]
         );
     }
 

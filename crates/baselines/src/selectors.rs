@@ -57,7 +57,7 @@ mod tests {
     use super::*;
     use nemo_core::idp::ModelOutputs;
     use nemo_data::catalog::toy_text;
-    use nemo_lf::{Label, LabelMatrix, Lineage, LfColumn, PrimitiveLf};
+    use nemo_lf::{Label, LabelMatrix, LfColumn, Lineage, PrimitiveLf};
 
     fn view_with_matrix<'a>(
         ds: &'a nemo_data::Dataset,
@@ -66,7 +66,7 @@ mod tests {
         outputs: &'a ModelOutputs,
         excluded: &'a [bool],
     ) -> SelectionView<'a> {
-        SelectionView { ds, lineage, matrix, outputs, excluded, iteration: 1 }
+        SelectionView { ds, lineage, matrix, outputs, excluded, iteration: 1, aggs: None }
     }
 
     #[test]

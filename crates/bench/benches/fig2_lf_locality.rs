@@ -44,11 +44,8 @@ fn main() {
         order.sort_by(|&a, &b| dists[a].partial_cmp(&dists[b]).expect("finite distances"));
         for q in 0..4 {
             let seg = &order[q * n / 4..(q + 1) * n / 4];
-            let covered: Vec<usize> = seg
-                .iter()
-                .copied()
-                .filter(|&i| ds.train.corpus.contains(i, lf.z))
-                .collect();
+            let covered: Vec<usize> =
+                seg.iter().copied().filter(|&i| ds.train.corpus.contains(i, lf.z)).collect();
             cov_q[q] += covered.len() as f64 / seg.len() as f64;
             if !covered.is_empty() {
                 let correct = covered.iter().filter(|&&i| ds.train.labels[i] == lf.y).count();

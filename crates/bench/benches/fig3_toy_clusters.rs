@@ -59,11 +59,8 @@ fn main() {
         for k in 0..4u32 {
             let members: Vec<usize> =
                 (0..ds.train.n()).filter(|&i| ds.train.clusters[i] == k).collect();
-            let covered: Vec<usize> = members
-                .iter()
-                .copied()
-                .filter(|&i| ds.train.corpus.contains(i, lf.z))
-                .collect();
+            let covered: Vec<usize> =
+                members.iter().copied().filter(|&i| ds.train.corpus.contains(i, lf.z)).collect();
             let coverage = covered.len() as f64 / members.len() as f64;
             let accuracy = if covered.is_empty() {
                 f64::NAN

@@ -55,6 +55,7 @@ fn small_cluster_rate(selector: &mut dyn Selector, seed: u64) -> f64 {
             outputs: session.outputs(),
             excluded: &excluded,
             iteration: session.iteration(),
+            aggs: None,
         };
         if let Some(x) = selector.select(&view, &mut rng) {
             if ds.train.clusters[x] >= 2 {
@@ -67,7 +68,9 @@ fn small_cluster_rate(selector: &mut dyn Selector, seed: u64) -> f64 {
 }
 
 fn main() {
-    println!("Figure 6 — selection intuition (toy: clusters 0/1 dominant+labeled, 2/3 small+unlabeled)");
+    println!(
+        "Figure 6 — selection intuition (toy: clusters 0/1 dominant+labeled, 2/3 small+unlabeled)"
+    );
     let mut table = Table::new(&["Selector", "P(select small unlabeled cluster)"]);
     let mut csv = Vec::new();
     // The small clusters hold 20% of the probability mass, so random

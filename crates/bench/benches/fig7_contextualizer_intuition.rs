@@ -12,8 +12,8 @@ use nemo_core::config::ContextualizerConfig;
 use nemo_core::contextualizer::Contextualizer;
 use nemo_core::oracle::SimulatedUser;
 use nemo_data::catalog::toy_text;
-use nemo_lf::{Label, LabelMatrix, LfColumn, Lineage};
 use nemo_labelmodel::{LabelModel, MajorityVote};
+use nemo_lf::{Label, LabelMatrix, LfColumn, Lineage};
 use nemo_sparse::DetRng;
 
 fn main() {
@@ -127,8 +127,18 @@ fn main() {
         "fig7_contextualizer_intuition",
         &["pipeline", "decided", "correct", "total_conflicts"],
         &[
-            vec!["standard".into(), std_decided.to_string(), std_correct.to_string(), conflict_idx.len().to_string()],
-            vec!["contextualized".into(), ctx_decided.to_string(), ctx_correct.to_string(), conflict_idx.len().to_string()],
+            vec![
+                "standard".into(),
+                std_decided.to_string(),
+                std_correct.to_string(),
+                conflict_idx.len().to_string(),
+            ],
+            vec![
+                "contextualized".into(),
+                ctx_decided.to_string(),
+                ctx_correct.to_string(),
+                conflict_idx.len().to_string(),
+            ],
         ],
     );
 }

@@ -17,13 +17,8 @@ fn main() {
         protocol.profile.name(),
         protocol.n_seeds
     );
-    let methods = [
-        Method::Nemo,
-        Method::Snorkel,
-        Method::SnorkelAbs,
-        Method::SnorkelDis,
-        Method::ImplyLossL,
-    ];
+    let methods =
+        [Method::Nemo, Method::Snorkel, Method::SnorkelAbs, Method::SnorkelDis, Method::ImplyLossL];
     let thresholds = [0.5, 0.6, 0.7];
     let mut csv = Vec::new();
     for name in DatasetName::ALL {

@@ -1,14 +1,28 @@
-//! Criterion microbenchmarks of the hot kernels (DESIGN.md §4):
-//! SEU's per-iteration scoring (fast path vs naive reference), label-model
-//! fitting, TF-IDF transformation, distance point-to-all, and LF
-//! application. These quantify the engineering choices — most notably the
-//! inverted-index SEU fast path, whose naive counterpart is quadratic.
+//! Microbenchmarks of the hot kernels (DESIGN.md §4), harness-free and
+//! machine-readable.
+//!
+//! Two kinds of measurement:
+//!
+//! - **Kernel timings** — SEU scoring (fast path vs naive reference),
+//!   label-model fitting, TF-IDF transformation, distance point-to-all,
+//!   and parallel LF application.
+//! - **The interactive-loop headline** — a recorded 25-round SEU
+//!   trajectory is replayed twice: once rebuilding the per-primitive
+//!   aggregates from scratch every round (the pre-`Session` behaviour)
+//!   and once delta-syncing a single [`SeuAggregates`] cache (what
+//!   `Session` does). Scores are asserted identical; the speedup is the
+//!   number the `Session` refactor claims.
+//!
+//! Results are printed as a table and written to `BENCH_kernel.json` so
+//! successive PRs can track the perf trajectory.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
 use nemo_core::config::IdpConfig;
 use nemo_core::idp::{IdpSession, ModelOutputs, RandomSelector, SelectionView};
 use nemo_core::oracle::SimulatedUser;
 use nemo_core::pipeline::StandardPipeline;
+use nemo_core::session::{Session, SeuAggregates};
 use nemo_core::seu::SeuSelector;
 use nemo_data::catalog::{build, DatasetName, Profile};
 use nemo_data::Dataset;
@@ -16,6 +30,48 @@ use nemo_labelmodel::{GenerativeModel, LabelModel, TripletModel};
 use nemo_lf::{LabelMatrix, PrimitiveLf};
 use nemo_sparse::{DetRng, Distance};
 use nemo_text::TfIdf;
+
+/// One timed kernel: median-of-means style summary over repeated calls.
+struct BenchResult {
+    name: &'static str,
+    iters: u32,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+/// Time `f` adaptively: warm up, then run batches until ~80ms of samples
+/// (capped) and report mean/min per-call time.
+fn bench<R>(name: &'static str, mut f: impl FnMut() -> R) -> BenchResult {
+    // Warmup + calibration: how many calls fit in a batch.
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let once_ns = start.elapsed().as_nanos().max(1) as f64;
+    let target_total_ns = 80_000_000.0;
+    let iters = (target_total_ns / once_ns).clamp(3.0, 3000.0) as u32;
+
+    let mut min_ns = f64::INFINITY;
+    let mut total_ns = 0.0;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let ns = t.elapsed().as_nanos() as f64;
+        total_ns += ns;
+        min_ns = min_ns.min(ns);
+    }
+    BenchResult { name, iters, mean_ns: total_ns / iters as f64, min_ns }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
 
 fn prepared_session(ds: &Dataset) -> IdpSession<'_> {
     let config = IdpConfig { n_iterations: 25, eval_every: 25, seed: 1, ..Default::default() };
@@ -32,77 +88,57 @@ fn prepared_session(ds: &Dataset) -> IdpSession<'_> {
     session
 }
 
-fn bench_seu(c: &mut Criterion) {
-    let ds = build(DatasetName::Amazon, Profile::Smoke, 3);
-    let session = prepared_session(&ds);
+fn kernel_benches(ds: &Dataset, results: &mut Vec<BenchResult>) {
+    let session = prepared_session(ds);
     let excluded = vec![false; ds.train.n()];
     let view = SelectionView {
-        ds: &ds,
+        ds,
         lineage: session.lineage(),
         matrix: session.matrix(),
         outputs: session.outputs(),
         excluded: &excluded,
         iteration: 25,
+        aggs: None,
     };
     let selector = SeuSelector::new();
 
-    c.bench_function("seu_fast_path_full_pool", |b| {
-        b.iter(|| {
-            let aggs = SeuSelector::primitive_aggregates(&view);
-            let mut best = f64::NEG_INFINITY;
-            for x in 0..ds.train.n() {
-                best = best.max(selector.expected_utility(&view, &aggs, x));
-            }
-            best
-        })
-    });
+    results.push(bench("seu_fast_path_full_pool", || {
+        let aggs = SeuSelector::primitive_aggregates(&view);
+        let mut best = f64::NEG_INFINITY;
+        for x in 0..ds.train.n() {
+            best = best.max(selector.expected_utility(&view, &aggs, x));
+        }
+        best
+    }));
 
-    c.bench_function("seu_naive_100_examples", |b| {
-        b.iter(|| {
-            let mut best = f64::NEG_INFINITY;
-            for x in 0..100 {
-                best = best.max(selector.expected_utility_naive(&view, x));
-            }
-            best
-        })
-    });
-}
+    results.push(bench("seu_naive_100_examples", || {
+        let mut best = f64::NEG_INFINITY;
+        for x in 0..100.min(ds.train.n()) {
+            best = best.max(selector.expected_utility_naive(&view, x));
+        }
+        best
+    }));
 
-fn bench_label_models(c: &mut Criterion) {
-    let ds = build(DatasetName::Amazon, Profile::Smoke, 3);
-    let session = prepared_session(&ds);
     let matrix = session.matrix().clone();
+    results
+        .push(bench("labelmodel_triplet_fit", || TripletModel::default().fit(&matrix, [0.5, 0.5])));
+    results
+        .push(bench("labelmodel_em_fit", || GenerativeModel::default().fit(&matrix, [0.5, 0.5])));
 
-    c.bench_function("labelmodel_triplet_fit", |b| {
-        b.iter(|| TripletModel::default().fit(&matrix, [0.5, 0.5]))
-    });
-    c.bench_function("labelmodel_em_fit", |b| {
-        b.iter(|| GenerativeModel::default().fit(&matrix, [0.5, 0.5]))
-    });
-}
-
-fn bench_tfidf_and_distance(c: &mut Criterion) {
-    let ds = build(DatasetName::Amazon, Profile::Smoke, 3);
     let norms = ds.train.features.sq_norms().to_vec();
-    c.bench_function("distance_point_to_all_cosine", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % ds.train.n();
-            Distance::Cosine.sparse_point_to_all(ds.train.features.csr(), i, &norms)
-        })
-    });
+    let mut pivot = 0usize;
+    results.push(bench("distance_point_to_all_cosine", || {
+        pivot = (pivot + 1) % ds.train.n();
+        Distance::Cosine.sparse_point_to_all(ds.train.features.csr(), pivot, &norms)
+    }));
 
     // TF-IDF transform over synthetic id-sequences.
     let mut rng = DetRng::new(9);
-    let docs: Vec<Vec<u32>> = (0..500)
-        .map(|_| (0..30).map(|_| rng.index(800) as u32).collect())
-        .collect();
+    let docs: Vec<Vec<u32>> =
+        (0..500).map(|_| (0..30).map(|_| rng.index(800) as u32).collect()).collect();
     let model = TfIdf::default().fit(&docs, 800);
-    c.bench_function("tfidf_transform_500_docs", |b| b.iter(|| model.transform(&docs)));
-}
+    results.push(bench("tfidf_transform_500_docs", || model.transform(&docs)));
 
-fn bench_lf_application(c: &mut Criterion) {
-    let ds = build(DatasetName::Amazon, Profile::Smoke, 3);
     let mut rng = DetRng::new(11);
     let lfs: Vec<PrimitiveLf> = (0..50)
         .map(|_| {
@@ -112,26 +148,160 @@ fn bench_lf_application(c: &mut Criterion) {
             )
         })
         .collect();
-    c.bench_function("label_matrix_from_50_lfs", |b| {
-        b.iter_batched(
-            || lfs.clone(),
-            |lfs| LabelMatrix::from_lfs(&lfs, &ds.train.corpus),
-            BatchSize::SmallInput,
-        )
-    });
+    results.push(bench("label_matrix_from_50_lfs_parallel", || {
+        LabelMatrix::from_lfs(&lfs, &ds.train.corpus)
+    }));
+
+    results.push(bench("model_outputs_initial", || ModelOutputs::initial(ds)));
 }
 
-fn bench_outputs_initial(c: &mut Criterion) {
-    let ds = build(DatasetName::Youtube, Profile::Smoke, 3);
-    c.bench_function("model_outputs_initial", |b| b.iter(|| ModelOutputs::initial(&ds)));
+/// Replay statistics for one aggregate-maintenance mode.
+struct LoopStats {
+    total_ns: f64,
+    rounds: usize,
+    checksum: f64,
 }
 
-criterion_group!(
-    benches,
-    bench_seu,
-    bench_label_models,
-    bench_tfidf_and_distance,
-    bench_lf_application,
-    bench_outputs_initial
-);
-criterion_main!(benches);
+/// Replay a recorded trajectory of model outputs, performing each round's
+/// selection work in one of two modes:
+///
+/// - **naive** (`incremental = false`): the pre-`Session` path — rebuild
+///   the per-primitive aggregates from scratch and score every example
+///   through the per-occurrence `expected_utility` loop.
+/// - **incremental**: the `Session` engine path — delta-sync the
+///   [`SeuAggregates`] cache and score through the per-round
+///   [`SeuSelector::score_table`].
+fn replay(
+    ds: &Dataset,
+    trajectory: &[ModelOutputs],
+    incremental: bool,
+) -> (LoopStats, SeuAggregates) {
+    let selector = SeuSelector::new();
+    let excluded = vec![false; ds.train.n()];
+    let avail: Vec<usize> = (0..ds.train.n()).collect();
+    let lineage = nemo_lf::Lineage::new();
+    let matrix = LabelMatrix::new(ds.train.n());
+    let mut cache = SeuAggregates::new(ds, &trajectory[0]);
+    let mut checksum = 0.0;
+    let start = Instant::now();
+    for outputs in &trajectory[1..] {
+        let view = SelectionView {
+            ds,
+            lineage: &lineage,
+            matrix: &matrix,
+            outputs,
+            excluded: &excluded,
+            iteration: 0,
+            aggs: None,
+        };
+        let scores = if incremental {
+            cache.sync(ds, outputs);
+            selector.scores(&view, cache.aggs(), &avail)
+        } else {
+            let aggs = SeuSelector::primitive_aggregates(&view);
+            avail.iter().map(|&x| selector.expected_utility(&view, &aggs, x)).collect()
+        };
+        checksum += scores.iter().copied().filter(|s| s.is_finite()).sum::<f64>();
+    }
+    let total_ns = start.elapsed().as_nanos() as f64;
+    (LoopStats { total_ns, rounds: trajectory.len() - 1, checksum }, cache)
+}
+
+/// Record a real 25-round SEU trajectory and measure aggregate
+/// maintenance + full-pool scoring under both modes.
+fn seu_loop_bench(ds: &Dataset) -> String {
+    let config = IdpConfig { n_iterations: 25, eval_every: 25, seed: 7, ..Default::default() };
+    let mut session = Session::new(ds, config);
+    let mut selector = SeuSelector::new();
+    let mut user = SimulatedUser::default();
+    let mut pipeline = StandardPipeline;
+    let mut trajectory = vec![session.outputs().clone()];
+    for _ in 0..25 {
+        session.step(&mut selector, &mut user, &mut pipeline);
+        trajectory.push(session.outputs().clone());
+    }
+
+    // Warm both paths once, then measure.
+    let _ = replay(ds, &trajectory, false);
+    let _ = replay(ds, &trajectory, true);
+    let (naive, _) = replay(ds, &trajectory, false);
+    let (incr, cache) = replay(ds, &trajectory, true);
+    assert!(
+        (naive.checksum - incr.checksum).abs() <= 1e-9 * naive.checksum.abs().max(1.0),
+        "incremental replay diverged: {} vs {}",
+        naive.checksum,
+        incr.checksum
+    );
+
+    let speedup = naive.total_ns / incr.total_ns;
+    let (rebuilds, deltas) = cache.sync_counts();
+    println!(
+        "\nSEU interactive-loop aggregate maintenance ({} rounds, full-pool scoring):",
+        naive.rounds
+    );
+    println!("  full rebuild per round : {}", human(naive.total_ns / naive.rounds as f64));
+    println!("  incremental delta-sync : {}", human(incr.total_ns / incr.rounds as f64));
+    println!(
+        "  speedup                : {speedup:.2}x  ({deltas} delta syncs, {} rebuild fallbacks)",
+        rebuilds - 1
+    );
+
+    format!(
+        concat!(
+            "{{\"rounds\": {}, \"full_rebuild_ns\": {:.0}, \"incremental_ns\": {:.0}, ",
+            "\"speedup\": {:.4}, \"delta_syncs\": {}, \"rebuild_fallbacks\": {}}}"
+        ),
+        naive.rounds,
+        naive.total_ns,
+        incr.total_ns,
+        speedup,
+        deltas,
+        rebuilds - 1,
+    )
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    let ds = build(DatasetName::Amazon, profile, 3);
+    println!(
+        "Kernel microbenchmarks (profile: {}, dataset: {} train={} |Z|={})",
+        profile.name(),
+        ds.name,
+        ds.train.n(),
+        ds.n_primitives
+    );
+
+    let mut results = Vec::new();
+    kernel_benches(&ds, &mut results);
+    println!("\n{:<36} {:>8} {:>12} {:>12}", "kernel", "iters", "mean", "min");
+    for r in &results {
+        println!("{:<36} {:>8} {:>12} {:>12}", r.name, r.iters, human(r.mean_ns), human(r.min_ns));
+    }
+
+    let loop_json = seu_loop_bench(&ds);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"profile\": \"{}\",\n", profile.name()));
+    json.push_str(&format!("  \"dataset\": \"{}\",\n", ds.name));
+    json.push_str(&format!("  \"train_n\": {},\n", ds.train.n()));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {:.0}, \"min_ns\": {:.0}}}{}\n",
+            r.name,
+            r.iters,
+            r.mean_ns,
+            r.min_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"seu_loop\": {loop_json}\n"));
+    json.push_str("}\n");
+
+    // Anchor to the workspace root (cargo bench sets CWD to the package).
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_kernel.json");
+    std::fs::write(&out, &json).expect("write BENCH_kernel.json");
+    println!("\nwrote {}", out.display());
+}

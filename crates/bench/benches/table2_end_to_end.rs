@@ -39,10 +39,7 @@ fn main() {
         }
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 * 100.0;
-    println!(
-        "Nemo vs Snorkel: avg {:+.1}% (paper: +20% avg, up to +47%)",
-        avg(&nemo_vs_snorkel)
-    );
+    println!("Nemo vs Snorkel: avg {:+.1}% (paper: +20% avg, up to +47%)", avg(&nemo_vs_snorkel));
 
     // CSV artifacts: summary scores and the full curves (Appendix B).
     let mut rows = Vec::new();

@@ -37,9 +37,7 @@ fn simulated_median_react(method: Method, rng: &mut DetRng) -> f64 {
     let median = latency_model(method);
     // Log-normal sample spread around the scheme median: 30 interactions,
     // take the median draw.
-    let mut samples: Vec<f64> = (0..30)
-        .map(|_| median * (rng.gaussian() * 0.35).exp())
-        .collect();
+    let mut samples: Vec<f64> = (0..30).map(|_| median * (rng.gaussian() * 0.35).exp()).collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     samples[samples.len() / 2]
 }
@@ -60,7 +58,16 @@ fn main() {
         Method::Us,
         Method::IwsLse,
     ];
-    let mut table = Table::new(&["Metric", "Nemo", "Snorkel", "Snorkel-Abs", "Snorkel-Dis", "ImplyLoss-L", "US", "IWS-LSE"]);
+    let mut table = Table::new(&[
+        "Metric",
+        "Nemo",
+        "Snorkel",
+        "Snorkel-Abs",
+        "Snorkel-Dis",
+        "ImplyLoss-L",
+        "US",
+        "IWS-LSE",
+    ]);
     let mut perf_row = vec!["Performance".to_string()];
     let mut time_row = vec!["React time (median, illustrative)".to_string()];
     let mut csv = Vec::new();

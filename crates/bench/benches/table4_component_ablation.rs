@@ -24,7 +24,8 @@ fn main() {
     let grid = run_grid(&methods, &ds_refs, &protocol);
     let method_names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
     let ds_names: Vec<&str> = datasets.iter().map(|d| d.name.as_str()).collect();
-    grid_table(&grid, &method_names, &ds_names).print("Nemo vs ablated variants (ClOnly = no data selector; SEU = no LF contextualizer):");
+    grid_table(&grid, &method_names, &ds_names)
+        .print("Nemo vs ablated variants (ClOnly = no data selector; SEU = no LF contextualizer):");
     let mut rows = Vec::new();
     for cell in &grid.cells {
         rows.push(vec![

@@ -22,7 +22,8 @@ fn main() {
     let grid = run_grid(&methods, &ds_refs, &protocol);
     let method_names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
     let ds_names: Vec<&str> = datasets.iter().map(|d| d.name.as_str()).collect();
-    grid_table(&grid, &method_names, &ds_names).print("Selection-strategy comparison (all use the standard pipeline; Snorkel = Random):");
+    grid_table(&grid, &method_names, &ds_names)
+        .print("Selection-strategy comparison (all use the standard pipeline; Snorkel = Random):");
     let mut rows = Vec::new();
     for cell in &grid.cells {
         rows.push(vec![

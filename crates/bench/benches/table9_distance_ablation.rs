@@ -23,7 +23,8 @@ fn main() {
     let grid = run_grid(&methods, &ds_refs, &protocol);
     let method_names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
     let ds_names: Vec<&str> = datasets.iter().map(|d| d.name.as_str()).collect();
-    grid_table(&grid, &method_names, &ds_names).print("Contextualized (cosine) vs contextualized (euclidean) vs standard:");
+    grid_table(&grid, &method_names, &ds_names)
+        .print("Contextualized (cosine) vs contextualized (euclidean) vs standard:");
     let mut rows = Vec::new();
     for cell in &grid.cells {
         rows.push(vec![

@@ -33,11 +33,8 @@ impl Table {
             }
         }
         let fmt_row = |cells: &[String]| -> String {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, &w)| format!("{c:<w$}"))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, &w)| format!("{c:<w$}")).collect();
             format!("| {} |", padded.join(" | "))
         };
         let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();

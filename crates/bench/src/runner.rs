@@ -1,7 +1,7 @@
 //! Parallel grid execution for the experiment harnesses.
 //!
 //! A "grid" is a set of (method × dataset × seed) runs. Seeds within one
-//! cell run in parallel via `crossbeam::scope`; cells run sequentially so
+//! cell run in parallel via `std::thread::scope`; cells run sequentially so
 //! progress output stays readable and memory stays bounded (each run only
 //! borrows the shared dataset).
 
@@ -55,9 +55,7 @@ pub struct GridResult {
 impl GridResult {
     /// Find a cell by method and dataset name.
     pub fn cell(&self, method: &str, dataset: &str) -> Option<&CellResult> {
-        self.cells
-            .iter()
-            .find(|c| c.method == method && c.dataset == dataset)
+        self.cells.iter().find(|c| c.method == method && c.dataset == dataset)
     }
 }
 
@@ -84,25 +82,21 @@ fn aggregate(method: Method, dataset: &str, curves: Vec<LearningCurve>) -> CellR
 pub fn run_cell(method: Method, ds: &Dataset, protocol: &BenchProtocol) -> CellResult {
     let seeds = protocol.seeds();
     let mut curves: Vec<Option<LearningCurve>> = vec![None; seeds.len()];
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &seed_index) in curves.iter_mut().zip(&seeds) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let spec = protocol.spec(seed_index);
                 *slot = Some(run_method(method, ds, &spec));
             });
         }
-    })
-    .expect("bench worker panicked");
-    let curves: Vec<LearningCurve> = curves.into_iter().map(|c| c.expect("run completed")).collect();
+    });
+    let curves: Vec<LearningCurve> =
+        curves.into_iter().map(|c| c.expect("run completed")).collect();
     aggregate(method, &ds.name, curves)
 }
 
 /// Run a full grid of methods × datasets, printing progress to stderr.
-pub fn run_grid(
-    methods: &[Method],
-    datasets: &[&Dataset],
-    protocol: &BenchProtocol,
-) -> GridResult {
+pub fn run_grid(methods: &[Method], datasets: &[&Dataset], protocol: &BenchProtocol) -> GridResult {
     let mut grid = GridResult::default();
     for ds in datasets {
         for &method in methods {

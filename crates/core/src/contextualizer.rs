@@ -64,10 +64,8 @@ impl Contextualizer {
     pub fn register(&mut self, lf: &PrimitiveLf, dev_example: u32, ds: &Dataset) {
         let dist = self.config.distance;
         let train_d = ds.train.features.point_to_all(dist, dev_example as usize);
-        let valid_d = ds
-            .train
-            .features
-            .point_to_other(dist, dev_example as usize, &ds.valid.features);
+        let valid_d =
+            ds.train.features.point_to_other(dist, dev_example as usize, &ds.valid.features);
         let mut sorted = train_d.clone();
         sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
         self.train_dists.push(train_d);

@@ -18,9 +18,11 @@
 use crate::config::IdpConfig;
 use crate::oracle::User;
 use crate::pipeline::LearningPipeline;
+use crate::session::Session;
+use crate::utility::PrimAgg;
 use nemo_data::Dataset;
 use nemo_labelmodel::Posterior;
-use nemo_lf::{label_from_prob, Label, LabelMatrix, LfColumn, Lineage, PrimitiveLf};
+use nemo_lf::{label_from_prob, Label, LabelMatrix, Lineage, PrimitiveLf};
 use nemo_sparse::DetRng;
 
 /// Model state after a learning stage, visible to selectors and
@@ -88,6 +90,10 @@ pub struct SelectionView<'a> {
     pub excluded: &'a [bool],
     /// Current iteration (0-based).
     pub iteration: usize,
+    /// Per-primitive SEU aggregates consistent with `outputs`, when the
+    /// view comes from a [`Session`] that maintains them incrementally.
+    /// `None` makes aggregate-consuming selectors rebuild from scratch.
+    pub aggs: Option<&'a [PrimAgg]>,
 }
 
 impl<'a> SelectionView<'a> {
@@ -170,19 +176,13 @@ impl LearningCurve {
 }
 
 /// One interactive session binding a dataset, a selector, a user, and a
-/// learning pipeline.
+/// learning pipeline — a thin driver over the [`Session`] engine, which
+/// owns the state and the incremental SEU aggregates.
 pub struct IdpSession<'a> {
-    ds: &'a Dataset,
-    config: IdpConfig,
+    session: Session<'a>,
     selector: Box<dyn Selector + 'a>,
     user: Box<dyn User + 'a>,
     pipeline: Box<dyn LearningPipeline + 'a>,
-    lineage: Lineage,
-    matrix: LabelMatrix,
-    excluded: Vec<bool>,
-    outputs: ModelOutputs,
-    rng: DetRng,
-    iteration: usize,
 }
 
 impl<'a> IdpSession<'a> {
@@ -194,113 +194,61 @@ impl<'a> IdpSession<'a> {
         user: Box<dyn User + 'a>,
         pipeline: Box<dyn LearningPipeline + 'a>,
     ) -> Self {
-        Self {
-            rng: DetRng::new(config.seed ^ 0x1d9_5e55_10),
-            outputs: ModelOutputs::initial(ds),
-            lineage: Lineage::new(),
-            matrix: LabelMatrix::new(ds.train.n()),
-            excluded: vec![false; ds.train.n()],
-            iteration: 0,
-            ds,
-            config,
-            selector,
-            user,
-            pipeline,
-        }
+        Self { session: Session::new(ds, config), selector, user, pipeline }
+    }
+
+    /// The underlying engine state.
+    pub fn session(&self) -> &Session<'a> {
+        &self.session
     }
 
     /// The dataset this session runs on.
     pub fn dataset(&self) -> &Dataset {
-        self.ds
+        self.session.dataset()
     }
 
     /// Collected lineage so far.
     pub fn lineage(&self) -> &Lineage {
-        &self.lineage
+        self.session.lineage()
     }
 
     /// Latest model outputs.
     pub fn outputs(&self) -> &ModelOutputs {
-        &self.outputs
+        self.session.outputs()
     }
 
     /// Raw train label matrix of collected LFs.
     pub fn matrix(&self) -> &LabelMatrix {
-        &self.matrix
+        self.session.matrix()
     }
 
     /// Current iteration count.
     pub fn iteration(&self) -> usize {
-        self.iteration
+        self.session.iteration()
     }
 
     /// Run one full IDP iteration: select → develop → learn.
     pub fn step(&mut self) -> StepRecord {
-        let selected = {
-            let view = SelectionView {
-                ds: self.ds,
-                lineage: &self.lineage,
-                matrix: &self.matrix,
-                outputs: &self.outputs,
-                excluded: &self.excluded,
-                iteration: self.iteration,
-            };
-            self.selector.select(&view, &mut self.rng)
-        };
-
-        let mut new_lfs = Vec::new();
-        if let Some(x) = selected {
-            self.excluded[x] = true;
-            let lfs = if self.config.lfs_per_iteration <= 1 {
-                self.user.provide_lf(x, self.ds, &mut self.rng).into_iter().collect()
-            } else {
-                self.user
-                    .provide_lfs(x, self.config.lfs_per_iteration, self.ds, &mut self.rng)
-            };
-            for lf in lfs {
-                self.lineage.record(lf, x as u32, self.iteration as u32);
-                self.matrix.push(LfColumn::from_lf(&lf, &self.ds.train.corpus));
-                new_lfs.push(lf);
-            }
-        }
-
-        // Learning stage (runs even on user abstention: the model state
-        // must stay consistent with the lineage).
-        let iter_seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(self.iteration as u64);
-        self.outputs = self.pipeline.learn(
-            &self.lineage,
-            &self.matrix,
-            self.ds,
-            &self.config,
-            iter_seed,
-        );
-
-        let record = StepRecord { iteration: self.iteration, selected, new_lfs };
-        self.iteration += 1;
-        record
+        self.session.step(&mut *self.selector, &mut *self.user, &mut *self.pipeline)
     }
 
     /// Current test-split score under the dataset metric.
     pub fn test_score(&self) -> f64 {
-        self.ds.metric.score(&self.outputs.test_pred, &self.ds.test.labels)
+        self.session.test_score()
     }
 
     /// Current validation-split score under the dataset metric.
     pub fn valid_score(&self) -> f64 {
-        self.ds.metric.score(&self.outputs.valid_pred, &self.ds.valid.labels)
+        self.session.valid_score()
     }
 
     /// Run the configured number of iterations, evaluating every
     /// `eval_every` iterations (the paper's protocol).
     pub fn run(&mut self) -> LearningCurve {
         let mut curve = LearningCurve::default();
-        for t in 0..self.config.n_iterations {
+        for t in 0..self.session.config().n_iterations {
             self.step();
-            if (t + 1) % self.config.eval_every == 0 {
+            if (t + 1) % self.session.config().eval_every == 0 {
                 curve.push(t + 1, self.test_score());
             }
         }
@@ -322,7 +270,7 @@ mod tests {
             config,
             Box::new(RandomSelector),
             Box::new(SimulatedUser::default()),
-            Box::new(StandardPipeline::default()),
+            Box::new(StandardPipeline),
         )
     }
 
@@ -421,6 +369,7 @@ mod tests {
             outputs: &outputs,
             excluded: &excluded,
             iteration: 0,
+            aggs: None,
         };
         let mut rng = DetRng::new(1);
         assert_eq!(RandomSelector.select(&view, &mut rng), None);

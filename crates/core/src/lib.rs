@@ -13,10 +13,11 @@
 //!   radius of its development data point (Eq. 4), exploiting the
 //!   data-to-LF lineage.
 //!
-//! Plus the machinery around them: the interactive [`idp`] loop shared by
-//! all methods, [`pipeline`]s (standard vs contextualized learning), the
-//! simulated user [`oracle`] (Sec. 5.1), the ergonomic [`system`] facade,
-//! and the multi-LF extension of Sec. 7 ([`multi_lf`]).
+//! Plus the machinery around them: the reusable interactive [`session`]
+//! engine (incremental SEU aggregates, parallel scoring), the [`idp`] loop
+//! shared by all methods, [`pipeline`]s (standard vs contextualized
+//! learning), the simulated user [`oracle`] (Sec. 5.1), the ergonomic
+//! [`system`] facade, and the multi-LF extension of Sec. 7 ([`multi_lf`]).
 
 pub mod config;
 pub mod contextualizer;
@@ -24,6 +25,7 @@ pub mod idp;
 pub mod multi_lf;
 pub mod oracle;
 pub mod pipeline;
+pub mod session;
 pub mod seu;
 pub mod system;
 pub mod user_model;
@@ -34,6 +36,7 @@ pub use contextualizer::Contextualizer;
 pub use idp::{IdpSession, LearningCurve, ModelOutputs, RandomSelector, SelectionView, Selector};
 pub use oracle::{FallbackPolicy, NoisyUser, SimulatedUser, User};
 pub use pipeline::{ContextualizedPipeline, LearningPipeline, StandardPipeline};
+pub use session::{Session, SeuAggregates};
 pub use seu::SeuSelector;
 pub use system::NemoSystem;
 pub use user_model::UserModelKind;

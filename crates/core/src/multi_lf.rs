@@ -20,10 +20,7 @@ use crate::utility::UtilityKind;
 
 /// The Eq. 5–6 multi-LF SEU selector.
 pub fn multi_lf_selector() -> SeuSelector {
-    SeuSelector {
-        user_model: UserModelKind::MultiLfIndicator,
-        utility: UtilityKind::Full,
-    }
+    SeuSelector { user_model: UserModelKind::MultiLfIndicator, utility: UtilityKind::Full }
 }
 
 #[cfg(test)]
@@ -67,7 +64,8 @@ mod tests {
         assert!(total > 6, "multi-LF mode should exceed one LF per iteration, got {total}");
         // Lineage groups LFs of the same iteration on the same dev point.
         let tracked = session.lineage().tracked();
-        let mut per_iter: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        let mut per_iter: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
         for r in tracked {
             per_iter.entry(r.iteration).or_default().push(r.dev_example);
         }
@@ -97,13 +95,17 @@ mod tests {
             .run()
             .summary()
         };
+        let n_seeds = 8;
         let mut single = 0.0;
         let mut multi = 0.0;
-        for seed in 0..3 {
+        for seed in 0..n_seeds {
             single += run(1, seed);
             multi += run(3, seed);
         }
-        // More supervision per iteration should not hurt.
+        single /= n_seeds as f64;
+        multi /= n_seeds as f64;
+        // More supervision per iteration should not hurt (seed-averaged:
+        // individual 8-iteration toy runs are high-variance).
         assert!(multi >= single - 0.05, "multi {multi:.3} vs single {single:.3}");
     }
 }

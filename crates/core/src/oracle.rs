@@ -42,7 +42,13 @@ pub trait User {
     /// Multi-LF variant (Sec. 7): return up to `k` distinct LFs. The
     /// default repeatedly queries `provide_lf` semantics over distinct
     /// primitives.
-    fn provide_lfs(&mut self, x: usize, k: usize, ds: &Dataset, rng: &mut DetRng) -> Vec<PrimitiveLf> {
+    fn provide_lfs(
+        &mut self,
+        x: usize,
+        k: usize,
+        ds: &Dataset,
+        rng: &mut DetRng,
+    ) -> Vec<PrimitiveLf> {
         let mut out = Vec::new();
         for _ in 0..k {
             match self.provide_lf(x, ds, rng) {
@@ -90,8 +96,7 @@ impl SimulatedUser {
             .iter()
             .filter_map(|&z| {
                 let lf = PrimitiveLf::new(z, y);
-                lf.accuracy_against(&ds.train.corpus, &ds.train.labels)
-                    .map(|acc| (lf, acc))
+                lf.accuracy_against(&ds.train.corpus, &ds.train.labels).map(|acc| (lf, acc))
             })
             .collect()
     }
@@ -142,7 +147,13 @@ impl User for SimulatedUser {
         self.pick(&candidates, self.threshold, ds, rng)
     }
 
-    fn provide_lfs(&mut self, x: usize, k: usize, ds: &Dataset, rng: &mut DetRng) -> Vec<PrimitiveLf> {
+    fn provide_lfs(
+        &mut self,
+        x: usize,
+        k: usize,
+        ds: &Dataset,
+        rng: &mut DetRng,
+    ) -> Vec<PrimitiveLf> {
         let mut candidates = self.candidates(x, ds);
         let mut out = Vec::new();
         for _ in 0..k {
@@ -174,10 +185,7 @@ impl NoisyUser {
     /// `N(0, jitter)` around `base_threshold`.
     pub fn new(base_threshold: f64, jitter: f64, lapse: f64, rng: &mut DetRng) -> Self {
         let threshold = (base_threshold + rng.gaussian() * jitter).clamp(0.4, 0.9);
-        Self {
-            inner: SimulatedUser { threshold, ..Default::default() },
-            lapse,
-        }
+        Self { inner: SimulatedUser { threshold, ..Default::default() }, lapse }
     }
 }
 
@@ -220,7 +228,11 @@ mod tests {
     fn threshold_filters_low_accuracy() {
         let ds = toy_text(1);
         let mut rng = DetRng::new(2);
-        let mut strict = SimulatedUser { threshold: 0.8, fallback: FallbackPolicy::Abstain, ..Default::default() };
+        let mut strict = SimulatedUser {
+            threshold: 0.8,
+            fallback: FallbackPolicy::Abstain,
+            ..Default::default()
+        };
         for x in 0..50 {
             if let Some(lf) = strict.provide_lf(x, &ds, &mut rng) {
                 let acc = lf.accuracy_against(&ds.train.corpus, &ds.train.labels).unwrap();
@@ -238,10 +250,7 @@ mod tests {
         assert!(lf.is_some(), "BestAvailable must return an LF");
         // And it must be the argmax-accuracy candidate.
         let cands = user.candidates(0, &ds);
-        let best = cands
-            .iter()
-            .map(|&(_, a)| a)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best = cands.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
         let got = lf.unwrap().accuracy_against(&ds.train.corpus, &ds.train.labels).unwrap();
         assert!((got - best).abs() < 1e-12);
     }
@@ -266,9 +275,7 @@ mod tests {
         // Find an example with a threshold-passing lexicon candidate.
         let x = (0..ds.train.n())
             .find(|&i| {
-                user.candidates(i, &ds)
-                    .iter()
-                    .any(|&(lf, acc)| ds.in_lexicon(lf.z) && acc >= 0.5)
+                user.candidates(i, &ds).iter().any(|&(lf, acc)| ds.in_lexicon(lf.z) && acc >= 0.5)
             })
             .expect("toy data has passing lexicon words");
         // Every returned LF must then come from the lexicon.

@@ -83,12 +83,8 @@ pub fn end_model_outputs(
     }
 
     let trainer = LogisticRegression::new(config.end_model.clone());
-    let model = trainer.fit(
-        ds.train.features.csr(),
-        posterior.p_pos_slice(),
-        Some(&covered),
-        iter_seed,
-    );
+    let model =
+        trainer.fit(ds.train.features.csr(), posterior.p_pos_slice(), Some(&covered), iter_seed);
     let train_probs = model.predict_proba(ds.train.features.csr());
     let valid_probs = model.predict_proba(ds.valid.features.csr());
     let test_probs = model.predict_proba(ds.test.features.csr());
@@ -169,14 +165,7 @@ impl LearningPipeline for ContextualizedPipeline {
         let label_model = config.label_model.build();
         let tuned = self.ctx.tune_p(raw_matrix, ds, &*label_model, UNIFORM_BALANCE);
         let posterior = tuned.fitted.predict(&tuned.train_matrix);
-        end_model_outputs(
-            posterior,
-            &tuned.train_matrix,
-            ds,
-            config,
-            iter_seed,
-            Some(tuned.p),
-        )
+        end_model_outputs(posterior, &tuned.train_matrix, ds, config, iter_seed, Some(tuned.p))
     }
 }
 
@@ -187,7 +176,11 @@ mod tests {
     use crate::oracle::SimulatedUser;
     use nemo_data::catalog::toy_text;
 
-    fn run(ds: &Dataset, pipeline: Box<dyn LearningPipeline + '_>, seed: u64) -> crate::idp::LearningCurve {
+    fn run(
+        ds: &Dataset,
+        pipeline: Box<dyn LearningPipeline + '_>,
+        seed: u64,
+    ) -> crate::idp::LearningCurve {
         let config = IdpConfig { n_iterations: 12, eval_every: 3, seed, ..Default::default() };
         IdpSession::new(
             ds,
@@ -234,10 +227,7 @@ mod tests {
             std_sum += run(&ds, Box::new(StandardPipeline), seed).summary();
             ctx_sum += run(&ds, Box::new(ContextualizedPipeline::default()), seed).summary();
         }
-        assert!(
-            ctx_sum >= std_sum - 0.03,
-            "contextualized {ctx_sum:.3} vs standard {std_sum:.3}"
-        );
+        assert!(ctx_sum >= std_sum - 0.03, "contextualized {ctx_sum:.3} vs standard {std_sum:.3}");
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! The reusable interactive engine: [`Session`] owns every piece of
+//! long-lived IDP state and keeps the SEU scoring machinery **incremental**
+//! across rounds.
+//!
+//! Before this engine existed, each selection round rebuilt the
+//! per-primitive aggregates ([`PrimAgg`]) with a full `O(nnz(U))` pass over
+//! the inverted index, even though consecutive rounds share almost all of
+//! their model state. `Session` instead owns a [`SeuAggregates`] cache and
+//! *delta-updates* it after every learning stage: only the examples whose
+//! posterior entropy or end-model prediction actually changed replay
+//! their contribution into the primitives that contain them —
+//! `O(Σ_{i dirty} |prims(i)|)` work instead of `O(nnz(U))`. The integer
+//! fields of every aggregate stay exact; the float sums pick up at most
+//! one rounding step per update and are re-anchored by periodic full
+//! rebuilds. `tests/session_differential.rs` proves the cache tracks a
+//! from-scratch rebuild within `1e-9` and that selections driven by the
+//! cache are identical to selections recomputed from scratch.
+//!
+//! Everything interactive is a thin driver over this type:
+//! [`crate::idp::IdpSession`] (the benchmark loop), [`crate::NemoSystem`]
+//! (the suggest/submit frontend API), and through them every baseline in
+//! `nemo-baselines` — so every selector sees the same cached state.
+
+use crate::config::IdpConfig;
+use crate::idp::{ModelOutputs, SelectionView, Selector, StepRecord};
+use crate::oracle::User;
+use crate::pipeline::LearningPipeline;
+use crate::utility::PrimAgg;
+use nemo_data::Dataset;
+use nemo_lf::{LabelMatrix, LfColumn, Lineage, PrimitiveLf};
+use nemo_sparse::DetRng;
+
+/// Per-primitive SEU aggregates, maintained incrementally across learning
+/// rounds.
+///
+/// Invariant: `aggs[z]` equals the fold of [`PrimAgg::add`] over the
+/// postings of `z` under the cached `psi` (posterior entropies) and `yhat`
+/// (end-model prediction signs) vectors, and those vectors match the
+/// `ModelOutputs` last passed to [`SeuAggregates::sync`].
+#[derive(Debug, Clone)]
+pub struct SeuAggregates {
+    psi: Vec<f64>,
+    yhat: Vec<i8>,
+    aggs: Vec<PrimAgg>,
+    full_rebuilds: usize,
+    delta_syncs: usize,
+    delta_syncs_since_rebuild: usize,
+    /// Primitive-occurrence slots updated by delta syncs (speedup
+    /// accounting).
+    delta_slots_updated: u64,
+}
+
+/// Delta syncs between forced full rebuilds: each in-place update adds at
+/// most one rounding step to a float sum, so this bounds the drift of the
+/// cached sums relative to a from-scratch rebuild.
+const MAX_DELTA_SYNCS_BETWEEN_REBUILDS: usize = 64;
+
+impl SeuAggregates {
+    /// Build the cache from scratch for the given model state.
+    pub fn new(ds: &Dataset, outputs: &ModelOutputs) -> Self {
+        let n_primitives = ds.train.corpus.n_primitives();
+        let mut cache = Self {
+            psi: Vec::new(),
+            yhat: Vec::new(),
+            aggs: vec![PrimAgg::default(); n_primitives],
+            full_rebuilds: 0,
+            delta_syncs: 0,
+            delta_syncs_since_rebuild: 0,
+            delta_slots_updated: 0,
+        };
+        cache.rebuild(ds, outputs);
+        cache
+    }
+
+    /// The cached aggregates (aligned with the primitive domain).
+    pub fn aggs(&self) -> &[PrimAgg] {
+        &self.aggs
+    }
+
+    /// `(full rebuilds, delta syncs)` performed so far.
+    pub fn sync_counts(&self) -> (usize, usize) {
+        (self.full_rebuilds, self.delta_syncs)
+    }
+
+    /// Primitive-occurrence slots updated in place by delta syncs so far.
+    pub fn delta_slots_updated(&self) -> u64 {
+        self.delta_slots_updated
+    }
+
+    fn rebuild(&mut self, ds: &Dataset, outputs: &ModelOutputs) {
+        self.psi = outputs.train_posterior.entropies();
+        self.yhat = outputs.yhat_signs();
+        let index = ds.train.corpus.index();
+        self.aggs.fill(PrimAgg::default());
+        for (z, postings) in index.iter_nonempty() {
+            let agg = &mut self.aggs[z as usize];
+            for &i in postings {
+                agg.add(self.psi[i as usize], self.yhat[i as usize]);
+            }
+        }
+        self.full_rebuilds += 1;
+        self.delta_syncs_since_rebuild = 0;
+    }
+
+    /// Bring the cache in line with `outputs` by applying, in place, the
+    /// contribution delta of every example whose `(psi, yhat)` changed —
+    /// `O(Σ_{i dirty} |prims(i)|)` instead of the `O(nnz(U))` rebuild.
+    ///
+    /// Falls back to a full rebuild when the dirty set is so large the
+    /// delta would touch more slots than a rebuild scans, and forces one
+    /// every [`MAX_DELTA_SYNCS_BETWEEN_REBUILDS`] delta syncs to bound
+    /// floating-point drift of the in-place sums.
+    pub fn sync(&mut self, ds: &Dataset, outputs: &ModelOutputs) {
+        let new_psi = outputs.train_posterior.entropies();
+        let new_yhat = outputs.yhat_signs();
+        debug_assert_eq!(new_psi.len(), self.psi.len());
+        let n = new_psi.len();
+        let corpus = &ds.train.corpus;
+        let dirty: Vec<u32> = (0..n)
+            .filter(|&i| {
+                self.psi[i].to_bits() != new_psi[i].to_bits() || self.yhat[i] != new_yhat[i]
+            })
+            .map(|i| i as u32)
+            .collect();
+        if dirty.is_empty() {
+            return;
+        }
+        let dirty_slots: usize =
+            dirty.iter().map(|&i| corpus.primitives_of(i as usize).len()).sum();
+        if dirty_slots * 2 >= corpus.total_postings()
+            || self.delta_syncs_since_rebuild >= MAX_DELTA_SYNCS_BETWEEN_REBUILDS
+        {
+            self.rebuild(ds, outputs);
+            return;
+        }
+
+        for &i in &dirty {
+            let i = i as usize;
+            let (old_psi, old_sign) = (self.psi[i], self.yhat[i]);
+            let (np, ns) = (new_psi[i], new_yhat[i]);
+            for &z in corpus.primitives_of(i) {
+                self.aggs[z as usize].apply_delta(old_psi, old_sign, np, ns);
+            }
+        }
+        self.psi = new_psi;
+        self.yhat = new_yhat;
+        self.delta_slots_updated += dirty_slots as u64;
+        self.delta_syncs += 1;
+        self.delta_syncs_since_rebuild += 1;
+    }
+}
+
+/// One interactive IDP session: dataset binding, collected LFs with
+/// lineage, the pool-exclusion set, the latest model outputs, and the
+/// incrementally-maintained SEU aggregates.
+///
+/// `Session` is component-agnostic: selectors, users, and learning
+/// pipelines are passed *into* the methods that need them, so a single
+/// session can be driven interactively ([`Session::select_with`] /
+/// [`Session::submit`] / [`Session::skip`]) or in batch
+/// ([`Session::step`] / [`Session::run`]).
+pub struct Session<'a> {
+    ds: &'a Dataset,
+    config: IdpConfig,
+    lineage: Lineage,
+    matrix: LabelMatrix,
+    excluded: Vec<bool>,
+    outputs: ModelOutputs,
+    cache: SeuAggregates,
+    rng: DetRng,
+    iteration: usize,
+    pending: Option<usize>,
+}
+
+impl<'a> Session<'a> {
+    /// Create a session at iteration 0 with prior-level model outputs.
+    ///
+    /// The inverted index over the training corpus is built once by the
+    /// dataset; the session only ever reads it.
+    pub fn new(ds: &'a Dataset, config: IdpConfig) -> Self {
+        let outputs = ModelOutputs::initial(ds);
+        let cache = SeuAggregates::new(ds, &outputs);
+        Self {
+            rng: DetRng::new(config.seed ^ 0x005e_5510),
+            lineage: Lineage::new(),
+            matrix: LabelMatrix::new(ds.train.n()),
+            excluded: vec![false; ds.train.n()],
+            iteration: 0,
+            pending: None,
+            outputs,
+            cache,
+            ds,
+            config,
+        }
+    }
+
+    /// The dataset this session runs on.
+    pub fn dataset(&self) -> &Dataset {
+        self.ds
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &IdpConfig {
+        &self.config
+    }
+
+    /// Collected lineage so far.
+    pub fn lineage(&self) -> &Lineage {
+        &self.lineage
+    }
+
+    /// Raw train label matrix of collected LFs.
+    pub fn matrix(&self) -> &LabelMatrix {
+        &self.matrix
+    }
+
+    /// Latest model outputs.
+    pub fn outputs(&self) -> &ModelOutputs {
+        &self.outputs
+    }
+
+    /// Completed iterations.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// The example reserved by the last [`Session::select_with`], if any.
+    pub fn pending(&self) -> Option<usize> {
+        self.pending
+    }
+
+    /// The incrementally-maintained SEU aggregates.
+    pub fn aggregates(&self) -> &SeuAggregates {
+        &self.cache
+    }
+
+    /// A read-only selection view over the current state, exposing the
+    /// cached aggregates to selectors.
+    pub fn view(&self) -> SelectionView<'_> {
+        SelectionView {
+            ds: self.ds,
+            lineage: &self.lineage,
+            matrix: &self.matrix,
+            outputs: &self.outputs,
+            excluded: &self.excluded,
+            iteration: self.iteration,
+            aggs: Some(self.cache.aggs()),
+        }
+    }
+
+    /// IDP stage 1: run a selector over the current view. The returned
+    /// example is excluded from the pool and reserved until
+    /// [`Session::submit`] or [`Session::skip`] resolves it.
+    pub fn select_with(&mut self, selector: &mut dyn Selector) -> Option<usize> {
+        assert!(self.pending.is_none(), "previous suggestion not yet resolved");
+        // Field-level borrows (rather than `self.view()`) so the selector
+        // can take the RNG mutably alongside the read-only view.
+        let view = SelectionView {
+            ds: self.ds,
+            lineage: &self.lineage,
+            matrix: &self.matrix,
+            outputs: &self.outputs,
+            excluded: &self.excluded,
+            iteration: self.iteration,
+            aggs: Some(self.cache.aggs()),
+        };
+        let x = selector.select(&view, &mut self.rng)?;
+        self.excluded[x] = true;
+        self.pending = Some(x);
+        Some(x)
+    }
+
+    /// IDP stage 2: query a user for LF(s) on example `x`, honoring the
+    /// configured `lfs_per_iteration`.
+    pub fn develop(&mut self, x: usize, user: &mut dyn User) -> Vec<PrimitiveLf> {
+        if self.config.lfs_per_iteration <= 1 {
+            user.provide_lf(x, self.ds, &mut self.rng).into_iter().collect()
+        } else {
+            user.provide_lfs(x, self.config.lfs_per_iteration, self.ds, &mut self.rng)
+        }
+    }
+
+    /// IDP stages 2–3: record LFs written from the pending example, then
+    /// re-learn and re-sync the aggregates. An empty `lfs` behaves like
+    /// [`Session::skip`] (the iteration is still consumed).
+    pub fn submit(&mut self, lfs: Vec<PrimitiveLf>, pipeline: &mut dyn LearningPipeline) {
+        let dev = self.pending.take().expect("submit without a pending suggestion") as u32;
+        for lf in lfs {
+            assert!(
+                (lf.z as usize) < self.ds.n_primitives,
+                "LF primitive {} outside the domain",
+                lf.z
+            );
+            self.lineage.record(lf, dev, self.iteration as u32);
+            self.matrix.push(LfColumn::from_lf(&lf, &self.ds.train.corpus));
+        }
+        self.relearn(pipeline);
+    }
+
+    /// Decline to write an LF for the pending example; models advance
+    /// unchanged (the iteration is still consumed, as in the paper's
+    /// fixed-budget protocol).
+    pub fn skip(&mut self, pipeline: &mut dyn LearningPipeline) {
+        self.pending.take().expect("skip without a pending suggestion");
+        self.relearn(pipeline);
+    }
+
+    /// Consume one iteration with the pool exhausted and the model frozen
+    /// (the `NemoSystem::run_with_user` tail behaviour).
+    pub fn advance_frozen(&mut self) {
+        assert!(self.pending.is_none(), "previous suggestion not yet resolved");
+        self.iteration += 1;
+    }
+
+    /// IDP stage 3: re-learn from the collected LFs, advance the
+    /// iteration, and delta-sync the SEU aggregates.
+    fn relearn(&mut self, pipeline: &mut dyn LearningPipeline) {
+        let iter_seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.iteration as u64);
+        self.outputs =
+            pipeline.learn(&self.lineage, &self.matrix, self.ds, &self.config, iter_seed);
+        self.cache.sync(self.ds, &self.outputs);
+        self.iteration += 1;
+    }
+
+    /// Run one full IDP iteration: select → develop → learn. The learning
+    /// stage runs even on user abstention or pool exhaustion, keeping the
+    /// model state consistent with the lineage.
+    pub fn step(
+        &mut self,
+        selector: &mut dyn Selector,
+        user: &mut dyn User,
+        pipeline: &mut dyn LearningPipeline,
+    ) -> StepRecord {
+        let iteration = self.iteration;
+        let selected = self.select_with(selector);
+        let new_lfs = match selected {
+            Some(x) => {
+                let lfs = self.develop(x, user);
+                self.submit(lfs.clone(), pipeline);
+                lfs
+            }
+            None => {
+                // Pool exhausted: no pending reservation was made, but the
+                // learning stage still runs (matching the historical
+                // `IdpSession::step` contract).
+                self.relearn(pipeline);
+                Vec::new()
+            }
+        };
+        StepRecord { iteration, selected, new_lfs }
+    }
+
+    /// Sec. 7 example explorer: a random sample of up to `k` training
+    /// examples containing primitive `z`.
+    pub fn sample_covered(&mut self, z: u32, k: usize) -> Vec<u32> {
+        let postings = self.ds.train.corpus.index().postings(z);
+        if postings.len() <= k {
+            return postings.to_vec();
+        }
+        let picks = self.rng.sample_indices(postings.len(), k);
+        picks.into_iter().map(|i| postings[i]).collect()
+    }
+
+    /// Current test-split score under the dataset metric.
+    pub fn test_score(&self) -> f64 {
+        self.ds.metric.score(&self.outputs.test_pred, &self.ds.test.labels)
+    }
+
+    /// Current validation-split score under the dataset metric.
+    pub fn valid_score(&self) -> f64 {
+        self.ds.metric.score(&self.outputs.valid_pred, &self.ds.valid.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idp::RandomSelector;
+    use crate::oracle::SimulatedUser;
+    use crate::pipeline::StandardPipeline;
+    use crate::seu::SeuSelector;
+    use nemo_data::catalog::toy_text;
+
+    fn cfg(n: usize, seed: u64) -> IdpConfig {
+        IdpConfig { n_iterations: n, eval_every: 5, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn select_submit_cycle_updates_state() {
+        let ds = toy_text(1);
+        let mut s = Session::new(&ds, cfg(10, 1));
+        let mut selector = RandomSelector;
+        let mut pipeline = StandardPipeline;
+        let x = s.select_with(&mut selector).expect("pool non-empty");
+        assert_eq!(s.pending(), Some(x));
+        let z = ds.train.corpus.primitives_of(x)[0];
+        s.submit(vec![PrimitiveLf::new(z, nemo_lf::Label::Pos)], &mut pipeline);
+        assert_eq!(s.lineage().len(), 1);
+        assert_eq!(s.iteration(), 1);
+        assert_eq!(s.pending(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet resolved")]
+    fn double_select_panics() {
+        let ds = toy_text(1);
+        let mut s = Session::new(&ds, cfg(10, 2));
+        let mut selector = RandomSelector;
+        s.select_with(&mut selector).unwrap();
+        s.select_with(&mut selector);
+    }
+
+    #[test]
+    #[should_panic(expected = "pending")]
+    fn submit_without_select_panics() {
+        let ds = toy_text(1);
+        let mut s = Session::new(&ds, cfg(10, 3));
+        let mut pipeline = StandardPipeline;
+        s.submit(vec![PrimitiveLf::new(0, nemo_lf::Label::Pos)], &mut pipeline);
+    }
+
+    #[test]
+    fn cached_aggregates_track_full_rebuild_over_a_run() {
+        let ds = toy_text(1);
+        let mut s = Session::new(&ds, cfg(12, 4));
+        let mut selector = SeuSelector::new();
+        let mut user = SimulatedUser::default();
+        let mut pipeline = StandardPipeline;
+        for _ in 0..12 {
+            s.step(&mut selector, &mut user, &mut pipeline);
+            let rebuilt = SeuSelector::primitive_aggregates(&s.view());
+            for (z, (cached, fresh)) in s.aggregates().aggs().iter().zip(&rebuilt).enumerate() {
+                assert_eq!(cached.df, fresh.df, "z={z}");
+                assert_eq!(cached.n_pos, fresh.n_pos, "z={z}");
+                assert!((cached.s_psi - fresh.s_psi).abs() < 1e-9, "z={z}");
+                assert!((cached.s_yhat - fresh.s_yhat).abs() < 1e-9, "z={z}");
+                assert!((cached.s_psi_yhat - fresh.s_psi_yhat).abs() < 1e-9, "z={z}");
+            }
+        }
+        let (rebuilds, deltas) = s.aggregates().sync_counts();
+        assert!(deltas > 0, "delta path never exercised ({rebuilds} rebuilds)");
+    }
+
+    #[test]
+    fn empty_submit_consumes_iteration_like_skip() {
+        let ds = toy_text(1);
+        let mut s = Session::new(&ds, cfg(10, 5));
+        let mut selector = RandomSelector;
+        let mut pipeline = StandardPipeline;
+        s.select_with(&mut selector).unwrap();
+        s.submit(Vec::new(), &mut pipeline);
+        assert_eq!(s.lineage().len(), 0);
+        assert_eq!(s.iteration(), 1);
+    }
+
+    #[test]
+    fn advance_frozen_only_bumps_iteration() {
+        let ds = toy_text(1);
+        let mut s = Session::new(&ds, cfg(10, 6));
+        s.advance_frozen();
+        assert_eq!(s.iteration(), 1);
+        assert_eq!(s.lineage().len(), 0);
+    }
+}

@@ -28,8 +28,11 @@
 //! **Fast path** (DESIGN.md §3): a single pass over the inverted index
 //! accumulates per-primitive aggregates ([`PrimAgg`]) from which both
 //! `Ψ_t(λ_{z,y})` and `acc(λ_{z,y})` are O(1); scoring all examples then
-//! costs `O(nnz(U))` total. A naive per-example reference implementation
-//! is kept for differential testing.
+//! costs `O(nnz(U))` total. Inside a [`crate::session::Session`] the
+//! aggregates are additionally maintained *incrementally* across rounds,
+//! and scoring goes through a per-round [`ScoreTable`] (per-primitive
+//! weight/utility products) evaluated in parallel over the pool. A naive
+//! per-example reference implementation is kept for differential testing.
 
 use crate::idp::{SelectionView, Selector};
 use crate::user_model::UserModelKind;
@@ -139,10 +142,7 @@ impl SeuSelector {
                 continue;
             }
             for y in Label::ALL {
-                let n_match = cov
-                    .iter()
-                    .filter(|&&i| yhat[i as usize] == y.sign())
-                    .count();
+                let n_match = cov.iter().filter(|&&i| yhat[i as usize] == y.sign()).count();
                 let acc = n_match as f64 / cov.len() as f64;
                 let w = self.user_model.weight(acc);
                 if w <= 0.0 {
@@ -169,6 +169,92 @@ impl SeuSelector {
     }
 }
 
+/// Per-primitive, per-label scoring tables derived from the aggregates:
+/// `w[z][y]` is the user-model weight of `λ_{z,y}` and `wu[z][y]` its
+/// weight × utility product (zero for collected or zero-weight LFs).
+///
+/// Building the table costs `O(|Z|)` once per selection round and moves
+/// every per-candidate branch — accuracy, weight, collected-LF lookup,
+/// utility variant — out of the per-occurrence scoring loop, which then
+/// reduces to two fused multiply-adds per `(example, primitive)` slot.
+pub struct ScoreTable {
+    w: Vec<[f64; 2]>,
+    wu: Vec<[f64; 2]>,
+}
+
+impl SeuSelector {
+    /// Build the per-primitive scoring table for the current round.
+    pub fn score_table(&self, view: &SelectionView<'_>, aggs: &[PrimAgg]) -> ScoreTable {
+        let mut w = vec![[0.0; 2]; aggs.len()];
+        let mut wu = vec![[0.0; 2]; aggs.len()];
+        for (z, agg) in aggs.iter().enumerate() {
+            if agg.df == 0 {
+                continue;
+            }
+            for y in Label::ALL {
+                let weight = self.user_model.weight(agg.accuracy(y));
+                if weight <= 0.0 {
+                    continue;
+                }
+                // Collected (z, y) pairs carry zero utility (see
+                // `expected_utility`); their weight still normalizes.
+                let utility = if view.lineage.contains_lf(&nemo_lf::PrimitiveLf::new(z as u32, y)) {
+                    0.0
+                } else {
+                    self.utility.value(agg, y)
+                };
+                w[z][y.index()] = weight;
+                wu[z][y.index()] = weight * utility;
+            }
+        }
+        ScoreTable { w, wu }
+    }
+
+    /// Expected utility of example `x` from a prebuilt [`ScoreTable`] —
+    /// the branch-free inner loop of the fast path.
+    pub fn expected_utility_tabled(
+        &self,
+        view: &SelectionView<'_>,
+        table: &ScoreTable,
+        x: usize,
+    ) -> f64 {
+        let prims = view.ds.train.corpus.primitives_of(x);
+        if prims.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let prior = view.ds.prior();
+        let mut weighted = 0.0;
+        let mut total_w = 0.0;
+        for &z in prims {
+            let zw = &table.w[z as usize];
+            let zwu = &table.wu[z as usize];
+            weighted += prior[0] * zwu[0] + prior[1] * zwu[1];
+            total_w += zw[0] + zw[1];
+        }
+        if self.user_model.normalized() {
+            if total_w > 0.0 {
+                weighted / total_w
+            } else {
+                0.0
+            }
+        } else {
+            weighted
+        }
+    }
+
+    /// Expected utility of every available example, in `avail` order.
+    ///
+    /// Scoring is embarrassingly parallel: each example reads only the
+    /// shared table. [`nemo_sparse::parallel::par_map`] returns results
+    /// in input order, so the parallel scores are bit-identical to a
+    /// serial scan (differential-tested in
+    /// `tests/session_differential.rs`).
+    pub fn scores(&self, view: &SelectionView<'_>, aggs: &[PrimAgg], avail: &[usize]) -> Vec<f64> {
+        let table = self.score_table(view, aggs);
+        nemo_sparse::parallel::par_map(avail, |_, &x| self.expected_utility_tabled(view, &table, x))
+    }
+}
+
 impl Selector for SeuSelector {
     fn name(&self) -> &'static str {
         "SEU"
@@ -185,11 +271,17 @@ impl Selector for SeuSelector {
         if view.lineage.is_empty() {
             return Some(avail[rng.index(avail.len())]);
         }
-        let aggs = Self::primitive_aggregates(view);
-        let scores: Vec<f64> = avail
-            .iter()
-            .map(|&x| self.expected_utility(view, &aggs, x))
-            .collect();
+        // Fast path: a `Session` supplies incrementally-maintained
+        // aggregates; stand-alone views pay the full one-pass rebuild.
+        let rebuilt;
+        let aggs: &[PrimAgg] = match view.aggs {
+            Some(cached) => cached,
+            None => {
+                rebuilt = Self::primitive_aggregates(view);
+                &rebuilt
+            }
+        };
+        let scores = self.scores(view, aggs, &avail);
         if scores.iter().all(|s| s.is_infinite()) {
             return Some(avail[rng.index(avail.len())]);
         }
@@ -212,7 +304,8 @@ mod tests {
     /// Build a view over a session that has run a few iterations, then
     /// hand it to closures for testing.
     fn with_view<R>(ds: &Dataset, n_steps: usize, f: impl FnOnce(&SelectionView<'_>) -> R) -> R {
-        let config = IdpConfig { n_iterations: n_steps, eval_every: 5, seed: 11, ..Default::default() };
+        let config =
+            IdpConfig { n_iterations: n_steps, eval_every: 5, seed: 11, ..Default::default() };
         let mut session = IdpSession::new(
             ds,
             config,
@@ -231,6 +324,7 @@ mod tests {
             outputs: session.outputs(),
             excluded: &excluded,
             iteration: n_steps,
+            aggs: None,
         };
         f(&view)
     }
@@ -240,7 +334,9 @@ mod tests {
         let ds = toy_text(1);
         with_view(&ds, 6, |view| {
             for um in [UserModelKind::AccuracyWeighted, UserModelKind::Uniform] {
-                for ut in [UtilityKind::Full, UtilityKind::NoInformativeness, UtilityKind::NoCorrectness] {
+                for ut in
+                    [UtilityKind::Full, UtilityKind::NoInformativeness, UtilityKind::NoCorrectness]
+                {
                     let sel = SeuSelector { user_model: um, utility: ut };
                     let aggs = SeuSelector::primitive_aggregates(view);
                     for x in (0..ds.train.n()).step_by(37) {
@@ -272,6 +368,7 @@ mod tests {
             outputs: &outputs,
             excluded: &excluded,
             iteration: 0,
+            aggs: None,
         };
         let mut sel = SeuSelector::new();
         let mut rng = DetRng::new(0);
@@ -292,6 +389,7 @@ mod tests {
                 outputs: view.outputs,
                 excluded: &excluded,
                 iteration: view.iteration,
+                aggs: None,
             };
             let mut sel = SeuSelector::new();
             let mut rng = DetRng::new(1);
@@ -311,6 +409,7 @@ mod tests {
                 outputs: view.outputs,
                 excluded: &excluded,
                 iteration: view.iteration,
+                aggs: None,
             };
             let mut sel = SeuSelector::new();
             let mut rng = DetRng::new(1);
@@ -346,14 +445,12 @@ mod tests {
                 outputs: &outputs,
                 excluded: &excluded,
                 iteration: view.iteration,
+                aggs: None,
             };
             let mut sel = SeuSelector::new();
             let mut rng = DetRng::new(3);
             let chosen = sel.select(&view2, &mut rng).expect("pool non-empty");
-            assert_ne!(
-                ds.train.clusters[chosen], 0,
-                "SEU should avoid the certain cluster"
-            );
+            assert_ne!(ds.train.clusters[chosen], 0, "SEU should avoid the certain cluster");
         });
     }
 

@@ -17,27 +17,21 @@
 //! an LF.
 
 use crate::config::{ContextualizerConfig, IdpConfig};
-use crate::idp::{LearningCurve, ModelOutputs, SelectionView, Selector};
+use crate::idp::{LearningCurve, ModelOutputs};
 use crate::oracle::User;
-use crate::pipeline::{ContextualizedPipeline, LearningPipeline};
+use crate::pipeline::ContextualizedPipeline;
+use crate::session::Session;
 use crate::seu::SeuSelector;
 use nemo_data::Dataset;
-use nemo_lf::{LabelMatrix, LfColumn, Lineage, PrimitiveLf};
-use nemo_sparse::DetRng;
+use nemo_lf::{Lineage, PrimitiveLf};
 
-/// The end-to-end Nemo system (SEU + contextualized learning).
+/// The end-to-end Nemo system (SEU + contextualized learning): a thin
+/// frontend driver over the [`Session`] engine, which owns the interactive
+/// state and the incrementally-maintained SEU aggregates.
 pub struct NemoSystem<'a> {
-    ds: &'a Dataset,
-    config: IdpConfig,
+    session: Session<'a>,
     selector: SeuSelector,
     pipeline: ContextualizedPipeline,
-    lineage: Lineage,
-    matrix: LabelMatrix,
-    excluded: Vec<bool>,
-    outputs: ModelOutputs,
-    rng: DetRng,
-    iteration: usize,
-    pending: Option<usize>,
 }
 
 impl<'a> NemoSystem<'a> {
@@ -53,142 +47,90 @@ impl<'a> NemoSystem<'a> {
         selector: SeuSelector,
         ctx_config: ContextualizerConfig,
     ) -> Self {
-        let rng = DetRng::new(config.seed ^ 0x4e40);
         Self {
-            ds,
+            session: Session::new(ds, config),
             selector,
             pipeline: ContextualizedPipeline::new(ctx_config),
-            lineage: Lineage::new(),
-            matrix: LabelMatrix::new(ds.train.n()),
-            excluded: vec![false; ds.train.n()],
-            outputs: ModelOutputs::initial(ds),
-            rng,
-            iteration: 0,
-            pending: None,
-            config,
         }
+    }
+
+    /// The underlying engine state.
+    pub fn session(&self) -> &Session<'a> {
+        &self.session
     }
 
     /// The dataset in use.
     pub fn dataset(&self) -> &Dataset {
-        self.ds
+        self.session.dataset()
     }
 
     /// Collected lineage.
     pub fn lineage(&self) -> &Lineage {
-        &self.lineage
+        self.session.lineage()
     }
 
     /// Latest model outputs.
     pub fn outputs(&self) -> &ModelOutputs {
-        &self.outputs
+        self.session.outputs()
     }
 
     /// Completed iterations.
     pub fn iteration(&self) -> usize {
-        self.iteration
+        self.session.iteration()
     }
 
     /// IDP stage 1: suggest the next development example. Returns `None`
     /// when the pool is exhausted. The example is reserved until
     /// [`NemoSystem::submit_lf`] or [`NemoSystem::skip`] is called.
     pub fn suggest_example(&mut self) -> Option<usize> {
-        assert!(self.pending.is_none(), "previous suggestion not yet resolved");
-        let view = SelectionView {
-            ds: self.ds,
-            lineage: &self.lineage,
-            matrix: &self.matrix,
-            outputs: &self.outputs,
-            excluded: &self.excluded,
-            iteration: self.iteration,
-        };
-        let x = self.selector.select(&view, &mut self.rng)?;
-        self.excluded[x] = true;
-        self.pending = Some(x);
-        Some(x)
+        self.session.select_with(&mut self.selector)
     }
 
     /// IDP stages 2–3: record an LF written from the pending example and
     /// re-learn the models.
     pub fn submit_lf(&mut self, lf: PrimitiveLf) {
-        let dev = self.pending.take().expect("submit_lf without a pending suggestion") as u32;
-        assert!(
-            (lf.z as usize) < self.ds.n_primitives,
-            "LF primitive {} outside the domain",
-            lf.z
-        );
-        self.lineage.record(lf, dev, self.iteration as u32);
-        self.matrix.push(LfColumn::from_lf(&lf, &self.ds.train.corpus));
-        self.relearn();
+        self.session.submit(vec![lf], &mut self.pipeline);
     }
 
     /// Decline to write an LF for the pending example; models advance
     /// unchanged (the iteration is still consumed, as in the paper's
     /// fixed-budget protocol).
     pub fn skip(&mut self) {
-        self.pending.take().expect("skip without a pending suggestion");
-        self.relearn();
-    }
-
-    fn relearn(&mut self) {
-        let iter_seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(self.iteration as u64);
-        self.outputs =
-            self.pipeline
-                .learn(&self.lineage, &self.matrix, self.ds, &self.config, iter_seed);
-        self.iteration += 1;
+        self.session.skip(&mut self.pipeline);
     }
 
     /// Sec. 7 example explorer: a random sample of up to `k` training
     /// examples containing primitive `z` (so the user can judge how well a
     /// candidate LF generalizes before creating it).
     pub fn explore_primitive(&mut self, z: u32, k: usize) -> Vec<u32> {
-        let postings = self.ds.train.corpus.index().postings(z);
-        if postings.len() <= k {
-            return postings.to_vec();
-        }
-        let picks = self.rng.sample_indices(postings.len(), k);
-        picks.into_iter().map(|i| postings[i]).collect()
+        self.session.sample_covered(z, k)
     }
 
     /// Current test score under the dataset metric.
     pub fn test_score(&self) -> f64 {
-        self.ds.metric.score(&self.outputs.test_pred, &self.ds.test.labels)
+        self.session.test_score()
     }
 
     /// Drive the full interactive loop with a (simulated) user for the
     /// configured number of iterations, evaluating on the paper's cadence.
     pub fn run_with_user(&mut self, user: &mut dyn User) -> LearningCurve {
         let mut curve = LearningCurve::default();
-        for t in 0..self.config.n_iterations {
+        let (n_iterations, eval_every) =
+            (self.session.config().n_iterations, self.session.config().eval_every);
+        for t in 0..n_iterations {
             match self.suggest_example() {
                 Some(x) => {
-                    let lfs = if self.config.lfs_per_iteration <= 1 {
-                        user.provide_lf(x, self.ds, &mut self.rng).into_iter().collect()
-                    } else {
-                        user.provide_lfs(x, self.config.lfs_per_iteration, self.ds, &mut self.rng)
-                    };
-                    if lfs.is_empty() {
-                        self.skip();
-                    } else {
-                        // Multi-LF submissions share the pending example.
-                        let dev = self.pending.take().expect("pending") as u32;
-                        for lf in lfs {
-                            self.lineage.record(lf, dev, self.iteration as u32);
-                            self.matrix.push(LfColumn::from_lf(&lf, &self.ds.train.corpus));
-                        }
-                        self.relearn();
-                    }
+                    // Multi-LF submissions share the pending example; an
+                    // empty answer consumes the iteration like a skip.
+                    let lfs = self.session.develop(x, user);
+                    self.session.submit(lfs, &mut self.pipeline);
                 }
                 None => {
                     // Pool exhausted: keep evaluating the frozen model.
-                    self.iteration += 1;
+                    self.session.advance_frozen();
                 }
             }
-            if (t + 1) % self.config.eval_every == 0 {
+            if (t + 1) % eval_every == 0 {
                 curve.push(t + 1, self.test_score());
             }
         }
@@ -252,9 +194,7 @@ mod tests {
         let ds = toy_text(1);
         let mut nemo = NemoSystem::new(&ds, cfg(10, 5));
         // Find a reasonably common primitive.
-        let z = (0..ds.n_primitives as u32)
-            .max_by_key(|&z| ds.train.corpus.index().df(z))
-            .unwrap();
+        let z = (0..ds.n_primitives as u32).max_by_key(|&z| ds.train.corpus.index().df(z)).unwrap();
         let sample = nemo.explore_primitive(z, 5);
         assert!(sample.len() <= 5);
         assert!(!sample.is_empty());

@@ -258,8 +258,10 @@ impl MixtureModel {
         } as u32;
         let mut label = Label::from_bool(rng.bernoulli(cfg.pos_prior));
 
-        let n_ind = rng.length(cfg.indicator_tokens.0, cfg.indicator_tokens.1, cfg.indicator_tokens.2);
-        let n_bg = rng.length(cfg.background_tokens.0, cfg.background_tokens.1, cfg.background_tokens.2);
+        let n_ind =
+            rng.length(cfg.indicator_tokens.0, cfg.indicator_tokens.1, cfg.indicator_tokens.2);
+        let n_bg =
+            rng.length(cfg.background_tokens.0, cfg.background_tokens.1, cfg.background_tokens.2);
         let n_sh = rng.length(cfg.shared_tokens.0, cfg.shared_tokens.1, cfg.shared_tokens.2);
 
         let mut tokens: Vec<u32> = Vec::with_capacity(n_ind + n_bg + n_sh);
@@ -437,10 +439,7 @@ mod tests {
 
     #[test]
     fn cluster_weights_respected() {
-        let cfg = MixtureConfig {
-            cluster_weights: vec![0.8, 0.1, 0.1],
-            ..small_cfg()
-        };
+        let cfg = MixtureConfig { cluster_weights: vec![0.8, 0.1, 0.1], ..small_cfg() };
         let mut rng = DetRng::new(13);
         let m = MixtureModel::new(cfg, &mut rng);
         let docs = m.sample_docs(5000, &mut rng);

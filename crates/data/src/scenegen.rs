@@ -23,14 +23,42 @@ use nemo_sparse::{DenseMatrix, DetRng};
 /// Curated object names for relation-indicative objects (positive class =
 /// "carrying").
 pub const CARRY_OBJECTS: &[&str] = &[
-    "bag", "backpack", "suitcase", "box", "tray", "basket", "umbrella", "groceries",
-    "luggage", "purse", "bundle", "bucket", "jug", "crate", "parcel", "folder",
+    "bag",
+    "backpack",
+    "suitcase",
+    "box",
+    "tray",
+    "basket",
+    "umbrella",
+    "groceries",
+    "luggage",
+    "purse",
+    "bundle",
+    "bucket",
+    "jug",
+    "crate",
+    "parcel",
+    "folder",
 ];
 
 /// Curated object names for "riding"-indicative objects (negative class).
 pub const RIDE_OBJECTS: &[&str] = &[
-    "horse", "bicycle", "motorcycle", "skateboard", "surfboard", "elephant", "scooter",
-    "wave", "saddle", "helmet", "carriage", "snowboard", "bus", "train", "camel", "wagon",
+    "horse",
+    "bicycle",
+    "motorcycle",
+    "skateboard",
+    "surfboard",
+    "elephant",
+    "scooter",
+    "wave",
+    "saddle",
+    "helmet",
+    "carriage",
+    "snowboard",
+    "bus",
+    "train",
+    "camel",
+    "wagon",
 ];
 
 /// Specification of a synthetic scene dataset.
@@ -89,7 +117,8 @@ pub fn generate_scenes(spec: &SceneGenSpec, seed: u64) -> Dataset {
         let sign = doc.label.sign() as f64 * spec.label_offset;
         (0..dim)
             .map(|j| {
-                (c[j] as f64 + sign * label_dir[j] as f64 + rng.gaussian() * spec.noise_sigma) as f32
+                (c[j] as f64 + sign * label_dir[j] as f64 + rng.gaussian() * spec.noise_sigma)
+                    as f32
             })
             .collect()
     };
@@ -244,11 +273,11 @@ mod tests {
         let d = ds.train.features.point_to_all(Distance::Euclidean, 0);
         let c0 = ds.train.clusters[0];
         let (mut same, mut diff) = (Vec::new(), Vec::new());
-        for i in 1..ds.train.n() {
+        for (i, &di) in d.iter().enumerate().skip(1) {
             if ds.train.clusters[i] == c0 {
-                same.push(d[i]);
+                same.push(di);
             } else {
-                diff.push(d[i]);
+                diff.push(di);
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -258,11 +287,8 @@ mod tests {
     #[test]
     fn object_names_curated_for_indicators() {
         let ds = generate_scenes(&tiny_spec(), 5);
-        let model_like_curated = ds
-            .primitive_names
-            .iter()
-            .filter(|n| !n.starts_with("obj_"))
-            .count();
+        let model_like_curated =
+            ds.primitive_names.iter().filter(|n| !n.starts_with("obj_")).count();
         assert_eq!(model_like_curated, 12); // n_indicators
     }
 
@@ -283,8 +309,8 @@ mod tests {
             }
         }
         let mut gap = 0.0;
-        for j in 0..dim {
-            let d = mu[1][j] / counts[1] as f64 - mu[0][j] / counts[0] as f64;
+        for (m1, m0) in mu[1].iter().zip(&mu[0]).take(dim) {
+            let d = m1 / counts[1] as f64 - m0 / counts[0] as f64;
             gap += d * d;
         }
         assert!(gap.sqrt() > 0.2, "class-mean gap {}", gap.sqrt());

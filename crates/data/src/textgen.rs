@@ -16,32 +16,100 @@ use nemo_text::{TfIdf, Vocab};
 
 /// Curated positive-sentiment indicator names.
 pub const POS_WORDS: &[&str] = &[
-    "great", "perfect", "delicious", "funny", "excellent", "amazing", "love", "wonderful",
-    "fantastic", "awesome", "best", "enjoyable", "fresh", "crisp", "reliable", "fast",
-    "beautiful", "comfy", "tasty", "brilliant", "smooth", "sturdy", "charming", "gripping",
-    "vivid", "generous", "friendly", "cozy", "superb", "flawless",
+    "great",
+    "perfect",
+    "delicious",
+    "funny",
+    "excellent",
+    "amazing",
+    "love",
+    "wonderful",
+    "fantastic",
+    "awesome",
+    "best",
+    "enjoyable",
+    "fresh",
+    "crisp",
+    "reliable",
+    "fast",
+    "beautiful",
+    "comfy",
+    "tasty",
+    "brilliant",
+    "smooth",
+    "sturdy",
+    "charming",
+    "gripping",
+    "vivid",
+    "generous",
+    "friendly",
+    "cozy",
+    "superb",
+    "flawless",
 ];
 
 /// Curated negative-sentiment indicator names.
 pub const NEG_WORDS: &[&str] = &[
-    "terrible", "awful", "bland", "boring", "broken", "horrible", "worst", "disappointing",
-    "stale", "slow", "cheap", "flimsy", "rude", "dirty", "noisy", "predictable", "soggy",
-    "defective", "useless", "annoying", "greasy", "dull", "clunky", "cramped", "leaky",
-    "tasteless", "sloppy", "shallow", "overpriced", "buggy",
+    "terrible",
+    "awful",
+    "bland",
+    "boring",
+    "broken",
+    "horrible",
+    "worst",
+    "disappointing",
+    "stale",
+    "slow",
+    "cheap",
+    "flimsy",
+    "rude",
+    "dirty",
+    "noisy",
+    "predictable",
+    "soggy",
+    "defective",
+    "useless",
+    "annoying",
+    "greasy",
+    "dull",
+    "clunky",
+    "cramped",
+    "leaky",
+    "tasteless",
+    "sloppy",
+    "shallow",
+    "overpriced",
+    "buggy",
 ];
 
 /// Curated spam-indicator names (positive class = spam).
 pub const SPAM_WORDS: &[&str] = &[
-    "free", "win", "winner", "prize", "cash", "claim", "urgent", "offer", "click",
-    "subscribe", "txt", "congratulations", "guaranteed", "bonus", "discount", "deal",
-    "unlock", "reward", "exclusive", "limited",
+    "free",
+    "win",
+    "winner",
+    "prize",
+    "cash",
+    "claim",
+    "urgent",
+    "offer",
+    "click",
+    "subscribe",
+    "txt",
+    "congratulations",
+    "guaranteed",
+    "bonus",
+    "discount",
+    "deal",
+    "unlock",
+    "reward",
+    "exclusive",
+    "limited",
 ];
 
 /// Curated ham-indicator names (negative class = legitimate message).
 pub const HAM_WORDS: &[&str] = &[
-    "meeting", "tomorrow", "thanks", "dinner", "home", "love", "later", "sorry", "call",
-    "lunch", "okay", "morning", "night", "week", "friend", "family", "work", "school",
-    "movie", "game",
+    "meeting", "tomorrow", "thanks", "dinner", "home", "love", "later", "sorry", "call", "lunch",
+    "okay", "morning", "night", "week", "friend", "family", "work", "school", "movie", "game",
 ];
 
 /// Specification of a synthetic text dataset.
@@ -125,7 +193,9 @@ pub fn generate_text(spec: &TextGenSpec, seed: u64) -> Dataset {
     // Curated naming for sentiment-style specs; spam specs substitute
     // their own lists through `pos_words`/`neg_words`.
     let mut names = token_names(&model);
-    if spec.pos_words.as_ptr() != POS_WORDS.as_ptr() || spec.neg_words.as_ptr() != NEG_WORDS.as_ptr() {
+    if spec.pos_words.as_ptr() != POS_WORDS.as_ptr()
+        || spec.neg_words.as_ptr() != NEG_WORDS.as_ptr()
+    {
         let (mut n_pos, mut n_neg) = (0usize, 0usize);
         for t in 0..model.vocab_size() as u32 {
             if model.is_indicator(t) {
@@ -154,18 +224,13 @@ pub fn generate_text(spec: &TextGenSpec, seed: u64) -> Dataset {
 
     // String round-trip: mixture ids → names → corpus vocabulary.
     let to_strings = |docs: &[MixDoc]| -> Vec<Vec<String>> {
-        docs.iter()
-            .map(|d| d.tokens.iter().map(|&t| names[t as usize].clone()).collect())
-            .collect()
+        docs.iter().map(|d| d.tokens.iter().map(|&t| names[t as usize].clone()).collect()).collect()
     };
     let train_strs = to_strings(&train_docs);
     let valid_strs = to_strings(&valid_docs);
     let test_strs = to_strings(&test_docs);
 
-    let vocab = Vocab::build(
-        train_strs.iter().map(|d| d.iter().map(String::as_str)),
-        1,
-    );
+    let vocab = Vocab::build(train_strs.iter().map(|d| d.iter().map(String::as_str)), 1);
 
     let encode = |docs: &[Vec<String>]| -> Vec<Vec<u32>> {
         docs.iter().map(|d| vocab.encode_seq(d)).collect()
@@ -195,10 +260,8 @@ pub fn generate_text(spec: &TextGenSpec, seed: u64) -> Dataset {
 
     let build_split = |ids: &[Vec<u32>], docs: &[MixDoc]| -> Split {
         let features = Features::from_csr(tfidf.transform(ids));
-        let sets: Vec<Vec<u32>> = ids
-            .iter()
-            .map(|doc| doc.iter().copied().filter(|&t| in_domain(t)).collect())
-            .collect();
+        let sets: Vec<Vec<u32>> =
+            ids.iter().map(|doc| doc.iter().copied().filter(|&t| in_domain(t)).collect()).collect();
         let corpus = PrimitiveCorpus::new(sets, vocab.len());
         Split {
             labels: docs.iter().map(|d| d.label).collect(),
@@ -324,7 +387,9 @@ mod tests {
         for &z in &ds.lexicon {
             let best = Label::ALL
                 .iter()
-                .filter_map(|&y| PrimitiveLf::new(z, y).accuracy_against(&ds.train.corpus, &ds.train.labels))
+                .filter_map(|&y| {
+                    PrimitiveLf::new(z, y).accuracy_against(&ds.train.corpus, &ds.train.labels)
+                })
                 .fold(0.0f64, f64::max);
             if best > 0.0 {
                 accs.push(best);
@@ -365,11 +430,11 @@ mod tests {
         let dists = ds.train.features.point_to_all(Distance::Cosine, 0);
         let c0 = ds.train.clusters[0];
         let (mut same, mut diff) = (Vec::new(), Vec::new());
-        for i in 1..ds.train.n() {
+        for (i, &di) in dists.iter().enumerate().skip(1) {
             if ds.train.clusters[i] == c0 {
-                same.push(dists[i]);
+                same.push(di);
             } else {
-                diff.push(dists[i]);
+                diff.push(di);
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

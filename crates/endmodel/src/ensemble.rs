@@ -45,9 +45,8 @@ impl BootstrapEnsemble {
                 if indices.is_empty() {
                     return FittedLogReg::zeros(x.n_cols());
                 }
-                let resample: Vec<u32> = (0..indices.len())
-                    .map(|_| indices[rng.index(indices.len())])
-                    .collect();
+                let resample: Vec<u32> =
+                    (0..indices.len()).map(|_| indices[rng.index(indices.len())]).collect();
                 self.base.fit(x, targets, Some(&resample), seed.wrapping_add(k as u64 * 7919))
             })
             .collect()

@@ -67,7 +67,10 @@ impl LogisticRegression {
         if idx.is_empty() {
             return FittedLogReg { weights: w, bias: 0.0 };
         }
+        // Canonicalize before the seeded shuffle so the fit is invariant
+        // to the order in which callers list the covered rows.
         let mut order: Vec<u32> = idx.to_vec();
+        order.sort_unstable();
         let mut rng = DetRng::new(seed ^ 0x7095_71c5_u64);
         let cfg = &self.config;
         // Per-step L2 weight decay, applied in chunks of `DECAY_CHUNK`
@@ -145,10 +148,7 @@ impl FittedLogReg {
 
     /// Signed hard predictions (+1/−1 as `i8`), threshold 0.5.
     pub fn predict_signs(&self, x: &CsrMatrix) -> Vec<i8> {
-        self.predict_proba(x)
-            .into_iter()
-            .map(|p| if p >= 0.5 { 1 } else { -1 })
-            .collect()
+        self.predict_proba(x).into_iter().map(|p| if p >= 0.5 { 1 } else { -1 }).collect()
     }
 }
 

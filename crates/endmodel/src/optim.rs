@@ -62,10 +62,7 @@ mod tests {
         let mut params = vec![0.0f32, 0.0];
         let mut opt = Adam::new(2, 0.1);
         for _ in 0..500 {
-            let grads = vec![
-                2.0 * (params[0] as f64 - 3.0),
-                2.0 * (params[1] as f64 + 2.0),
-            ];
+            let grads = vec![2.0 * (params[0] as f64 - 3.0), 2.0 * (params[1] as f64 + 2.0)];
             opt.step(&mut params, &grads);
         }
         assert!((params[0] - 3.0).abs() < 0.05, "x0 = {}", params[0]);

@@ -143,13 +143,11 @@ mod tests {
 
     #[test]
     fn recovers_planted_accuracies() {
-        let (matrix, _, truth) = planted(4000, &[(0.9, 0.3), (0.7, 0.3), (0.55, 0.3), (0.85, 0.2)], 1);
+        let (matrix, _, truth) =
+            planted(4000, &[(0.9, 0.3), (0.7, 0.3), (0.55, 0.3), (0.85, 0.2)], 1);
         let fitted = GenerativeModel::default().fit(&matrix, [0.5, 0.5]);
         for (est, want) in fitted.lf_accuracies().iter().zip(&truth) {
-            assert!(
-                (est - want).abs() < 0.06,
-                "estimated {est:.3} for planted {want:.3}"
-            );
+            assert!((est - want).abs() < 0.06, "estimated {est:.3} for planted {want:.3}");
         }
     }
 

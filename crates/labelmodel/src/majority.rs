@@ -27,10 +27,7 @@ impl LabelModel for MajorityVote {
     }
 
     fn fit(&self, matrix: &LabelMatrix, prior: [f64; 2]) -> Box<dyn FittedLabelModel> {
-        Box::new(NaiveBayesFit::new(
-            vec![self.assumed_accuracy; matrix.n_lfs()],
-            prior,
-        ))
+        Box::new(NaiveBayesFit::new(vec![self.assumed_accuracy; matrix.n_lfs()], prior))
     }
 }
 

@@ -111,7 +111,7 @@ mod tests {
         let post = fit.predict(&matrix());
         assert!(post.p_pos(0) > 0.5); // only +1 vote
         assert!(post.p_pos(2) < 0.5); // only −1 vote
-        // Example 1 has equal-accuracy conflicting votes → prior.
+                                      // Example 1 has equal-accuracy conflicting votes → prior.
         assert!((post.p_pos(1) - 0.5).abs() < 1e-9);
     }
 

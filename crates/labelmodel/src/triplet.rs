@@ -43,12 +43,7 @@ pub struct TripletModel {
 
 impl Default for TripletModel {
     fn default() -> Self {
-        Self {
-            min_overlap: 5,
-            min_moment: 0.05,
-            fallback_accuracy: 0.82,
-            shrinkage: 10.0,
-        }
+        Self { min_overlap: 5, min_moment: 0.05, fallback_accuracy: 0.82, shrinkage: 10.0 }
     }
 }
 
@@ -118,8 +113,7 @@ impl LabelModel for TripletModel {
                     let sq = (moments[j][k] * moments[j][l] / moments[k][l]).abs();
                     let centered = sq.sqrt().min(1.0);
                     let estimate = 0.5 + centered / 2.0;
-                    let w =
-                        overlaps[j][k].min(overlaps[j][l]).min(overlaps[k][l]) as f64;
+                    let w = overlaps[j][k].min(overlaps[j][l]).min(overlaps[k][l]) as f64;
                     weighted_sum += w * estimate;
                     total_weight += w;
                 }

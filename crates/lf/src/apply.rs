@@ -19,16 +19,22 @@ pub struct PrimitiveCorpus {
 
 impl PrimitiveCorpus {
     /// Build from per-example primitive-id lists. Lists are sorted and
-    /// deduplicated internally (containment is set semantics).
+    /// deduplicated internally (containment is set semantics); the
+    /// per-document normalization runs in parallel for large corpora.
     pub fn new(mut docs: Vec<Vec<u32>>, n_primitives: usize) -> Self {
-        for d in &mut docs {
+        nemo_sparse::parallel::par_for_each_mut(&mut docs, |_, d| {
             d.sort_unstable();
             d.dedup();
+        });
+        for d in &docs {
             if let Some(&max) = d.last() {
-                assert!((max as usize) < n_primitives, "primitive {max} out of domain {n_primitives}");
+                assert!(
+                    (max as usize) < n_primitives,
+                    "primitive {max} out of domain {n_primitives}"
+                );
             }
         }
-        let index = InvertedIndex::from_docs(&docs, n_primitives);
+        let index = InvertedIndex::from_sorted_docs(&docs, n_primitives);
         Self { docs, index, n_primitives }
     }
 

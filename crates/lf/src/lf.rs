@@ -52,7 +52,7 @@ impl PrimitiveLf {
 
     /// Coverage fraction over the corpus.
     pub fn coverage_frac(&self, corpus: &PrimitiveCorpus) -> f64 {
-        if corpus.len() == 0 {
+        if corpus.is_empty() {
             return 0.0;
         }
         self.coverage(corpus).len() as f64 / corpus.len() as f64

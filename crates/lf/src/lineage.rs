@@ -89,7 +89,10 @@ mod tests {
         assert_eq!(lin.len(), 2);
         assert_eq!(lin.dev_example(0), 42);
         assert_eq!(lin.dev_example(1), 7);
-        assert_eq!(lin.lfs(), vec![PrimitiveLf::new(3, Label::Pos), PrimitiveLf::new(5, Label::Neg)]);
+        assert_eq!(
+            lin.lfs(),
+            vec![PrimitiveLf::new(3, Label::Pos), PrimitiveLf::new(5, Label::Neg)]
+        );
         assert_eq!(lin.dev_examples(), vec![42, 7]);
     }
 

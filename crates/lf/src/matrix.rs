@@ -37,9 +37,7 @@ impl LfColumn {
     /// Materialize a primitive LF's column over a corpus.
     pub fn from_lf(lf: &PrimitiveLf, corpus: &PrimitiveCorpus) -> Self {
         let sign = lf.y.sign();
-        Self {
-            entries: lf.coverage(corpus).iter().map(|&i| (i, sign)).collect(),
-        }
+        Self { entries: lf.coverage(corpus).iter().map(|&i| (i, sign)).collect() }
     }
 
     /// Sorted `(example, vote)` entries.
@@ -62,9 +60,7 @@ impl LfColumn {
 
     /// Keep only entries whose example id satisfies `keep`.
     pub fn filtered(&self, mut keep: impl FnMut(u32) -> bool) -> Self {
-        Self {
-            entries: self.entries.iter().copied().filter(|&(i, _)| keep(i)).collect(),
-        }
+        Self { entries: self.entries.iter().copied().filter(|&(i, _)| keep(i)).collect() }
     }
 }
 
@@ -104,11 +100,16 @@ impl LabelMatrix {
         Self { columns: Vec::new(), n_examples }
     }
 
-    /// Apply a slice of primitive LFs to a corpus.
+    /// Apply a slice of primitive LFs to a corpus. Columns are
+    /// materialized in parallel (each LF scans only its own postings) and
+    /// appended in `lfs` order, so the result is identical to a serial
+    /// loop of [`LabelMatrix::push`].
     pub fn from_lfs(lfs: &[PrimitiveLf], corpus: &PrimitiveCorpus) -> Self {
         let mut m = Self::new(corpus.len());
-        for lf in lfs {
-            m.push(LfColumn::from_lf(lf, corpus));
+        let columns =
+            nemo_sparse::parallel::par_map_min(lfs, 8, |_, lf| LfColumn::from_lf(lf, corpus));
+        for col in columns {
+            m.push(col);
         }
         m
     }
@@ -116,7 +117,11 @@ impl LabelMatrix {
     /// Append an LF column.
     pub fn push(&mut self, col: LfColumn) {
         if let Some(&(max, _)) = col.entries().last() {
-            assert!((max as usize) < self.n_examples, "column references example {max} ≥ n={}", self.n_examples);
+            assert!(
+                (max as usize) < self.n_examples,
+                "column references example {max} ≥ n={}",
+                self.n_examples
+            );
         }
         self.columns.push(col);
     }

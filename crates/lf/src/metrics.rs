@@ -135,7 +135,11 @@ pub fn best_f1_threshold(p_pos: &[f64], gold: &[Label]) -> f64 {
         let denom_p = tp + fp;
         let precision = if denom_p == 0 { 0.0 } else { tp as f64 / denom_p as f64 };
         let recall = tp as f64 / total_pos as f64;
-        let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
         let threshold = if k == 0 {
             p_pos[order[0]] - 1e-9
         } else if k == p_pos.len() {

@@ -28,11 +28,7 @@ impl SparseVec {
             }
             last = Some(i);
         }
-        let (indices, values) = indices
-            .into_iter()
-            .zip(values)
-            .filter(|&(_, v)| v != 0.0)
-            .unzip();
+        let (indices, values) = indices.into_iter().zip(values).filter(|&(_, v)| v != 0.0).unzip();
         Self { indices, values, dim }
     }
 
@@ -52,11 +48,7 @@ impl SparseVec {
             }
         }
         // Drop entries that cancelled to zero.
-        let (indices, values) = indices
-            .into_iter()
-            .zip(values)
-            .filter(|&(_, v)| v != 0.0)
-            .unzip();
+        let (indices, values) = indices.into_iter().zip(values).filter(|&(_, v)| v != 0.0).unzip();
         Self { indices, values, dim }
     }
 
@@ -217,7 +209,8 @@ impl CsrMatrix {
     pub fn l2_normalize_rows(&mut self) {
         for r in 0..self.n_rows() {
             let (lo, hi) = (self.row_offsets[r], self.row_offsets[r + 1]);
-            let norm: f64 = self.values[lo..hi].iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+            let norm: f64 =
+                self.values[lo..hi].iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
             if norm > 0.0 {
                 let inv = (1.0 / norm) as f32;
                 for v in &mut self.values[lo..hi] {
@@ -272,12 +265,8 @@ mod tests {
     fn dot_matches_dense_reference() {
         let a = sv(&[(0, 1.0), (2, 2.0), (5, -1.0)], 8);
         let b = sv(&[(2, 3.0), (5, 4.0), (7, 9.0)], 8);
-        let dense: f64 = a
-            .to_dense()
-            .iter()
-            .zip(b.to_dense())
-            .map(|(&x, y)| x as f64 * y as f64)
-            .sum();
+        let dense: f64 =
+            a.to_dense().iter().zip(b.to_dense()).map(|(&x, y)| x as f64 * y as f64).sum();
         assert!((a.as_row().dot(&b.as_row()) - dense).abs() < 1e-9);
     }
 

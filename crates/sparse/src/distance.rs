@@ -210,9 +210,9 @@ mod tests {
         let m = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
         for dist in [Distance::Cosine, Distance::Euclidean] {
             let all = dist.dense_point_to_all(&m, 2);
-            for r in 0..3 {
+            for (r, &a) in all.iter().enumerate() {
                 let pair = dist.dense(m.row(2), m.row(r));
-                assert!((all[r] - pair).abs() < 1e-9);
+                assert!((a - pair).abs() < 1e-9);
             }
         }
     }
@@ -240,8 +240,8 @@ mod tests {
         let pivot = [0.0f32, 1.0];
         for dist in [Distance::Cosine, Distance::Euclidean] {
             let all = dist.dense_row_to_all(&pivot, &m);
-            for r in 0..2 {
-                assert!((all[r] - dist.dense(&pivot, m.row(r))).abs() < 1e-9);
+            for (r, &a) in all.iter().enumerate() {
+                assert!((a - dist.dense(&pivot, m.row(r))).abs() < 1e-9);
             }
         }
     }

@@ -25,17 +25,32 @@ impl InvertedIndex {
     /// (duplicates allowed; they are collapsed). `n_primitives` is the size
     /// of the primitive domain `Z`.
     pub fn from_docs(docs: &[Vec<u32>], n_primitives: usize) -> Self {
+        let dedup: Vec<Vec<u32>> = docs
+            .iter()
+            .map(|d| {
+                let mut ids = d.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            })
+            .collect();
+        Self::from_sorted_docs(&dedup, n_primitives)
+    }
+
+    /// Build from per-document primitive-id lists that are already sorted
+    /// and deduplicated, skipping the normalization copy `from_docs` pays.
+    ///
+    /// This is the path `PrimitiveCorpus` uses after normalizing its own
+    /// document lists (in parallel), so corpus construction sorts each
+    /// list exactly once.
+    pub fn from_sorted_docs(docs: &[Vec<u32>], n_primitives: usize) -> Self {
         let mut counts = vec![0usize; n_primitives];
-        let mut dedup: Vec<Vec<u32>> = Vec::with_capacity(docs.len());
         for d in docs {
-            let mut ids = d.clone();
-            ids.sort_unstable();
-            ids.dedup();
-            for &z in &ids {
+            debug_assert!(d.windows(2).all(|w| w[0] < w[1]), "doc list not sorted/deduped");
+            for &z in d {
                 assert!((z as usize) < n_primitives, "primitive {z} out of domain");
                 counts[z as usize] += 1;
             }
-            dedup.push(ids);
         }
         let mut offsets = Vec::with_capacity(n_primitives + 1);
         offsets.push(0usize);
@@ -44,7 +59,7 @@ impl InvertedIndex {
         }
         let mut cursor = offsets.clone();
         let mut postings = vec![0u32; offsets[n_primitives]];
-        for (doc_id, ids) in dedup.iter().enumerate() {
+        for (doc_id, ids) in docs.iter().enumerate() {
             for &z in ids {
                 postings[cursor[z as usize]] = doc_id as u32;
                 cursor[z as usize] += 1;

@@ -2,18 +2,20 @@
 //!
 //! Numeric substrate for the Nemo reproduction: sparse and dense vectors,
 //! distance kernels, an inverted index, deterministic random-number helpers,
-//! and the small statistics toolbox (entropy, percentiles, softmax) that the
-//! rest of the system is built on.
+//! scoped data-parallel primitives, and the small statistics toolbox
+//! (entropy, percentiles, softmax) that the rest of the system is built on.
 //!
-//! Everything here is deliberately dependency-light and deterministic: all
-//! randomness flows through [`rng::DetRng`], which wraps a seeded
-//! [`rand::rngs::StdRng`] so that every experiment in the benchmark harness
-//! is exactly reproducible from its seed.
+//! Everything here is deliberately dependency-free and deterministic: all
+//! randomness flows through [`rng::DetRng`], a self-contained xoshiro256++
+//! generator, so that every experiment in the benchmark harness is exactly
+//! reproducible from its seed; and the [`parallel`] helpers return results
+//! in input order, so parallel runs are bit-identical to serial ones.
 
 pub mod csr;
 pub mod dense;
 pub mod distance;
 pub mod index;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 

@@ -2,13 +2,11 @@
 //!
 //! All stochastic components in the reproduction (data generators, simulated
 //! users, model initialization, selection tie-breaking) draw from [`DetRng`],
-//! a thin wrapper over a seeded [`StdRng`]. Keeping a single wrapper type
-//! insulates the rest of the workspace from `rand` API churn and centralizes
-//! the few samplers `rand` itself does not provide offline (Gaussian via
-//! Box–Muller, weighted choice, reservoir-free subset sampling).
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! a self-contained xoshiro256++ generator seeded through SplitMix64. The
+//! implementation is dependency-free so the workspace builds hermetically;
+//! keeping a single wrapper type centralizes the samplers the system needs
+//! (Gaussian via Box–Muller, weighted choice, partial Fisher–Yates subset
+//! sampling) and guarantees bit-for-bit reproducibility from a seed.
 
 /// Deterministic RNG used across the workspace.
 ///
@@ -18,18 +16,47 @@ use rand::{Rng, SeedableRng};
 /// so that adding draws to one component does not perturb another.
 #[derive(Debug)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second Gaussian variate from Box–Muller.
     gauss_spare: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Create a new deterministic RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // SplitMix64 seed expansion, the recommended initializer for
+        // xoshiro-family generators (avoids all-zero and low-entropy
+        // states for small seeds).
+        let mut s = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state: [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)],
             gauss_spare: None,
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let mut n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.state = [n0, n1, n2, n3];
+        result
     }
 
     /// Derive an independent sub-stream identified by `salt`.
@@ -40,17 +67,17 @@ impl DetRng {
     /// in the ablated component.
     pub fn fork(&mut self, salt: u64) -> DetRng {
         // Mix a fresh draw with the salt via splitmix64 finalization.
-        let mut z = self.inner.random::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         DetRng::new(z)
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` (53-bit precision).
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `f64` in `[lo, hi)`.
@@ -64,7 +91,21 @@ impl DetRng {
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "DetRng::index called with n = 0");
-        self.inner.random_range(0..n)
+        // Lemire's multiply-shift bounded generation with rejection of the
+        // biased low-word zone.
+        let n = n as u64;
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as usize
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
@@ -73,7 +114,7 @@ impl DetRng {
         self.uniform() < p.clamp(0.0, 1.0)
     }
 
-    /// Standard Gaussian variate via Box–Muller (no `rand_distr` offline).
+    /// Standard Gaussian variate via Box–Muller.
     pub fn gaussian(&mut self) -> f64 {
         if let Some(z) = self.gauss_spare.take() {
             return z;
@@ -97,7 +138,8 @@ impl DetRng {
     /// `[min_len, max_len]`: `min_len + round(|N(0, spread)|)`.
     pub fn length(&mut self, min_len: usize, mean_len: usize, max_len: usize) -> usize {
         let spread = (mean_len.saturating_sub(min_len)) as f64;
-        let draw = min_len as f64 + self.gaussian().abs() * spread * 0.8 + self.uniform() * spread * 0.4;
+        let draw =
+            min_len as f64 + self.gaussian().abs() * spread * 0.8 + self.uniform() * spread * 0.4;
         (draw.round() as usize).clamp(min_len, max_len)
     }
 
@@ -157,11 +199,6 @@ impl DetRng {
         idx.truncate(k);
         idx
     }
-
-    /// Raw access for integrations that need a `rand::Rng`.
-    pub fn as_rng(&mut self) -> &mut StdRng {
-        &mut self.inner
-    }
 }
 
 #[cfg(test)]
@@ -208,6 +245,20 @@ mod tests {
             for _ in 0..20 {
                 assert!(rng.index(n) < n);
             }
+        }
+    }
+
+    #[test]
+    fn index_is_roughly_uniform() {
+        let mut rng = DetRng::new(29);
+        let mut counts = [0usize; 8];
+        let draws = 80_000;
+        for _ in 0..draws {
+            counts[rng.index(8)] += 1;
+        }
+        let expected = draws as f64 / 8.0;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < expected * 0.05, "counts {counts:?}");
         }
     }
 

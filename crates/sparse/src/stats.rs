@@ -121,11 +121,7 @@ pub fn argmax(xs: &[f64]) -> usize {
 pub fn argmax_set(xs: &[f64]) -> Vec<usize> {
     assert!(!xs.is_empty(), "argmax_set of empty slice");
     let mx = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    xs.iter()
-        .enumerate()
-        .filter(|&(_, &x)| x == mx)
-        .map(|(i, _)| i)
-        .collect()
+    xs.iter().enumerate().filter(|&(_, &x)| x == mx).map(|(i, _)| i).collect()
 }
 
 /// KL divergence `KL(p ‖ q)` for discrete distributions (natural log).

@@ -37,10 +37,8 @@ impl TfIdf {
             }
         }
         let n = train_docs.len() as f64;
-        let idf: Vec<f32> = df
-            .iter()
-            .map(|&d| (((1.0 + n) / (1.0 + d as f64)).ln() + 1.0) as f32)
-            .collect();
+        let idf: Vec<f32> =
+            df.iter().map(|&d| (((1.0 + n) / (1.0 + d as f64)).ln() + 1.0) as f32).collect();
         TfIdfModel { idf, config: self.clone(), n_features }
     }
 }
@@ -74,11 +72,7 @@ impl TfIdfModel {
         let pairs: Vec<(u32, f32)> = counts
             .into_iter()
             .map(|(t, c)| {
-                let tf = if self.config.sublinear_tf {
-                    1.0 + (c as f32).ln()
-                } else {
-                    c as f32
-                };
+                let tf = if self.config.sublinear_tf { 1.0 + (c as f32).ln() } else { c as f32 };
                 (t, tf * self.idf[t as usize])
             })
             .collect();
@@ -135,7 +129,7 @@ mod tests {
     #[test]
     fn raw_tf_counts_multiplicity() {
         let cfg = TfIdf { sublinear_tf: false, l2_normalize: false };
-        let model = cfg.fit(&vec![vec![0], vec![1]], 2);
+        let model = cfg.fit(&[vec![0], vec![1]], 2);
         let v = model.transform_doc(&[0, 0, 0]);
         let dense = v.to_dense();
         assert!((dense[0] / model.idf(0) - 3.0).abs() < 1e-5);
@@ -144,7 +138,7 @@ mod tests {
     #[test]
     fn sublinear_tf_dampens() {
         let cfg = TfIdf { sublinear_tf: true, l2_normalize: false };
-        let model = cfg.fit(&vec![vec![0], vec![1]], 2);
+        let model = cfg.fit(&[vec![0], vec![1]], 2);
         let v1 = model.transform_doc(&[0]).to_dense()[0];
         let v8 = model.transform_doc(&[0; 8]).to_dense()[0];
         assert!(v8 > v1);
@@ -164,7 +158,7 @@ mod tests {
         // Fitting on train only: transforming unseen docs reuses train IDF.
         let model = TfIdf::default().fit(&corpus(), 3);
         let before = model.idf(2);
-        let _ = model.transform(&vec![vec![2, 2], vec![2]]);
+        let _ = model.transform(&[vec![2, 2], vec![2]]);
         assert_eq!(model.idf(2), before);
     }
 

@@ -16,9 +16,7 @@ pub fn tokenize(text: &str) -> Vec<String> {
 /// Tokenize into borrowed slices when no lowercasing is required
 /// (pre-normalized input); avoids per-token allocations.
 pub fn tokenize_borrowed(text: &str) -> Vec<&str> {
-    text.split(|c: char| !c.is_alphanumeric())
-        .filter(|t| !t.is_empty() && t.len() <= 64)
-        .collect()
+    text.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty() && t.len() <= 64).collect()
 }
 
 #[cfg(test)]
@@ -27,7 +25,10 @@ mod tests {
 
     #[test]
     fn splits_on_punctuation() {
-        assert_eq!(tokenize("Perfect, for my work-outs!"), vec!["perfect", "for", "my", "work", "outs"]);
+        assert_eq!(
+            tokenize("Perfect, for my work-outs!"),
+            vec!["perfect", "for", "my", "work", "outs"]
+        );
     }
 
     #[test]

@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn build_respects_min_df() {
-        let docs = vec![vec!["a", "b"], vec!["a", "c"], vec!["a", "b"]];
+        let docs = [vec!["a", "b"], vec!["a", "c"], vec!["a", "b"]];
         let v = Vocab::build(docs.iter().map(|d| d.iter().copied()), 2);
         assert!(v.id("a").is_some());
         assert!(v.id("b").is_some());
@@ -132,14 +132,14 @@ mod tests {
     #[test]
     fn build_df_counts_docs_not_tokens() {
         // "a" appears 3 times but only in one doc.
-        let docs = vec![vec!["a", "a", "a"], vec!["b"]];
+        let docs = [vec!["a", "a", "a"], vec!["b"]];
         let v = Vocab::build(docs.iter().map(|d| d.iter().copied()), 2);
         assert!(v.id("a").is_none());
     }
 
     #[test]
     fn ids_are_first_seen_order() {
-        let docs = vec![vec!["z", "m"], vec!["a", "z"]];
+        let docs = [vec!["z", "m"], vec!["a", "z"]];
         let v = Vocab::build(docs.iter().map(|d| d.iter().copied()), 1);
         assert_eq!(v.id("m"), Some(0)); // sorted within doc: m before z
         assert_eq!(v.id("z"), Some(1));

@@ -55,5 +55,8 @@ fn main() {
         "\nSnorkel (random selection, standard learning): curve score {:.3}",
         snorkel_curve.summary()
     );
-    println!("Nemo:                                           curve score {:.3}", nemo_curve.summary());
+    println!(
+        "Nemo:                                           curve score {:.3}",
+        nemo_curve.summary()
+    );
 }

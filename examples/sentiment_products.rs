@@ -53,16 +53,10 @@ fn main() {
     println!("per-category behaviour of user keyword LFs (dev category marked *):\n");
     for (j, rec) in lineage.tracked().iter().enumerate() {
         let dev_cluster = dataset.train.clusters[rec.dev_example as usize];
-        print!(
-            "  λ{}(\"{}\" → {}):",
-            j,
-            dataset.primitive_name(rec.lf.z),
-            rec.lf.y
-        );
+        print!("  λ{}(\"{}\" → {}):", j, dataset.primitive_name(rec.lf.z), rec.lf.y);
         for k in 0..n_clusters as u32 {
-            let members: Vec<usize> = (0..dataset.train.n())
-                .filter(|&i| dataset.train.clusters[i] == k)
-                .collect();
+            let members: Vec<usize> =
+                (0..dataset.train.n()).filter(|&i| dataset.train.clusters[i] == k).collect();
             let covered: Vec<usize> = members
                 .iter()
                 .copied()
@@ -71,10 +65,7 @@ fn main() {
             let acc = if covered.is_empty() {
                 f64::NAN
             } else {
-                covered
-                    .iter()
-                    .filter(|&&i| dataset.train.labels[i] == rec.lf.y)
-                    .count() as f64
+                covered.iter().filter(|&&i| dataset.train.labels[i] == rec.lf.y).count() as f64
                     / covered.len() as f64
             };
             let marker = if k == dev_cluster { "*" } else { " " };
@@ -113,5 +104,7 @@ fn main() {
         let (votes, acc) = vote_acc(&refined);
         println!("  p = {p:>3}: {votes:>5} votes at {:.1}% accuracy", 100.0 * acc);
     }
-    println!("\nshrinking the radius trades coverage for vote accuracy — Nemo tunes p on validation.");
+    println!(
+        "\nshrinking the radius trades coverage for vote accuracy — Nemo tunes p on validation."
+    );
 }

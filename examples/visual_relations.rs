@@ -44,7 +44,11 @@ fn main() {
     let mut nemo = NemoSystem::new(&dataset, config.clone());
     let mut user = SimulatedUser::default();
     let curve = nemo.run_with_user(&mut user);
-    println!("\nNemo on VG: curve accuracy {:.3}, final {:.3}", curve.summary(), curve.final_score());
+    println!(
+        "\nNemo on VG: curve accuracy {:.3}, final {:.3}",
+        curve.summary(),
+        curve.final_score()
+    );
 
     println!("\nobject LFs collected:");
     for rec in nemo.lineage().tracked().iter().take(6) {
@@ -52,10 +56,7 @@ fn main() {
             nemo::lf::Label::Pos => "carrying",
             nemo::lf::Label::Neg => "riding",
         };
-        println!(
-            "  scene contains \"{}\" → {relation}",
-            dataset.primitive_name(rec.lf.z)
-        );
+        println!("  scene contains \"{}\" → {relation}", dataset.primitive_name(rec.lf.z));
     }
 
     // Table 9's distance question matters most here: embeddings are not

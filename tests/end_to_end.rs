@@ -11,7 +11,12 @@ use nemo::lf::Label;
 
 fn quick_spec(seed: u64, iterations: usize) -> RunSpec {
     RunSpec {
-        idp: IdpConfig { n_iterations: iterations, eval_every: iterations / 2, seed, ..Default::default() },
+        idp: IdpConfig {
+            n_iterations: iterations,
+            eval_every: iterations / 2,
+            seed,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -110,10 +115,7 @@ fn simulated_user_threshold_controls_lf_quality() {
     };
     let low = mean_lf_accuracy(0.5);
     let high = mean_lf_accuracy(0.8);
-    assert!(
-        high > low,
-        "higher threshold must yield more accurate LFs ({high:.3} vs {low:.3})"
-    );
+    assert!(high > low, "higher threshold must yield more accurate LFs ({high:.3} vs {low:.3})");
 }
 
 #[test]
