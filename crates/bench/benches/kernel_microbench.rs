@@ -18,17 +18,18 @@
 
 use std::time::Instant;
 
-use nemo_core::config::IdpConfig;
+use nemo_core::config::{ContextualizerConfig, DistanceBackend, IdpConfig};
+use nemo_core::contextualizer::Contextualizer;
 use nemo_core::idp::{IdpSession, ModelOutputs, RandomSelector, SelectionView};
-use nemo_core::oracle::SimulatedUser;
+use nemo_core::oracle::{SimulatedUser, User};
 use nemo_core::pipeline::StandardPipeline;
 use nemo_core::session::{Session, SeuAggregates};
 use nemo_core::seu::SeuSelector;
 use nemo_data::catalog::{build, DatasetName, Profile};
 use nemo_data::Dataset;
 use nemo_labelmodel::{GenerativeModel, LabelModel, TripletModel};
-use nemo_lf::{LabelMatrix, PrimitiveLf};
-use nemo_sparse::{DetRng, Distance};
+use nemo_lf::{LabelMatrix, Lineage, PrimitiveLf};
+use nemo_sparse::{CscIndex, DetRng, Distance, DistanceScratch};
 use nemo_text::TfIdf;
 
 /// One timed kernel: median-of-means style summary over repeated calls.
@@ -125,11 +126,59 @@ fn kernel_benches(ds: &Dataset, results: &mut Vec<BenchResult>) {
     results
         .push(bench("labelmodel_em_fit", || GenerativeModel::default().fit(&matrix, [0.5, 0.5])));
 
+    // Distance engine: naive row-major scan vs the inverted-index kernel,
+    // both with reused output buffers so only kernel work is timed.
     let norms = ds.train.features.sq_norms().to_vec();
+    let mut out = Vec::new();
     let mut pivot = 0usize;
     results.push(bench("distance_point_to_all_cosine", || {
         pivot = (pivot + 1) % ds.train.n();
-        Distance::Cosine.sparse_point_to_all(ds.train.features.csr(), pivot, &norms)
+        Distance::Cosine.sparse_point_to_all_into(ds.train.features.csr(), pivot, &norms, &mut out);
+        out[pivot]
+    }));
+
+    let csc = CscIndex::from_csr(ds.train.features.csr());
+    let mut scratch = DistanceScratch::new();
+    results.push(bench("distance_point_to_all_indexed", || {
+        pivot = (pivot + 1) % ds.train.n();
+        Distance::Cosine.sparse_point_to_all_indexed_into(
+            ds.train.features.csr(),
+            &csc,
+            pivot,
+            &norms,
+            &mut scratch,
+            &mut out,
+        );
+        out[pivot]
+    }));
+
+    // Contextualizer registration: 32 simulated-user LFs registered one at
+    // a time through the naive engine (the pre-index behaviour) vs one
+    // batched pass through the indexed engine.
+    let mut rng = DetRng::new(13);
+    let mut user = SimulatedUser::default();
+    let mut lineage = Lineage::new();
+    let mut x = 0usize;
+    let mut guard = 0usize;
+    while lineage.len() < 32 && guard < 10_000 {
+        guard += 1;
+        if let Some(lf) = user.provide_lf(x, ds, &mut rng) {
+            lineage.record(lf, x as u32, lineage.len() as u32);
+        }
+        x = (x + 7) % ds.train.n();
+    }
+    let naive_cfg = ContextualizerConfig { backend: DistanceBackend::Naive, ..Default::default() };
+    results.push(bench("contextualizer_register_per_lf", || {
+        let mut ctx = Contextualizer::new(naive_cfg.clone());
+        for rec in lineage.tracked() {
+            ctx.register(&rec.lf, rec.dev_example, ds);
+        }
+        ctx.n_registered()
+    }));
+    results.push(bench("contextualizer_register_batch", || {
+        let mut ctx = Contextualizer::new(ContextualizerConfig::default());
+        ctx.sync(&lineage, ds);
+        ctx.n_registered()
     }));
 
     // TF-IDF transform over synthetic id-sequences.
@@ -260,6 +309,57 @@ fn seu_loop_bench(ds: &Dataset) -> String {
     )
 }
 
+/// Mean time of a named kernel result (panics if the kernel wasn't run).
+fn mean_of(results: &[BenchResult], name: &str) -> f64 {
+    results.iter().find(|r| r.name == name).map(|r| r.mean_ns).expect("kernel benched")
+}
+
+/// Summarize the sparse-distance engine: indexed vs naive point-to-all and
+/// batched vs per-LF contextualizer registration. Returns the JSON
+/// fragment; with `NEMO_BENCH_ENFORCE` set, a slower indexed/batched path
+/// aborts the run (the CI regression guard).
+fn distance_engine_summary(results: &[BenchResult]) -> String {
+    let naive = mean_of(results, "distance_point_to_all_cosine");
+    let indexed = mean_of(results, "distance_point_to_all_indexed");
+    let per_lf = mean_of(results, "contextualizer_register_per_lf");
+    let batch = mean_of(results, "contextualizer_register_batch");
+    let kernel_speedup = naive / indexed;
+    let register_speedup = per_lf / batch;
+    println!("\nSparse distance engine (inverted-index kernel vs naive row-major scan):");
+    println!(
+        "  point-to-all  naive {} → indexed {}  ({kernel_speedup:.2}x)",
+        human(naive),
+        human(indexed)
+    );
+    println!(
+        "  register 32 LFs  per-LF {} → batched {}  ({register_speedup:.2}x)",
+        human(per_lf),
+        human(batch)
+    );
+    if std::env::var("NEMO_BENCH_ENFORCE").is_ok() {
+        assert!(
+            indexed <= naive,
+            "regression: indexed point-to-all ({}) slower than naive ({})",
+            human(indexed),
+            human(naive)
+        );
+        assert!(
+            batch <= per_lf,
+            "regression: batched registration ({}) slower than per-LF ({})",
+            human(batch),
+            human(per_lf)
+        );
+    }
+    format!(
+        concat!(
+            "{{\"naive_point_to_all_ns\": {:.0}, \"indexed_point_to_all_ns\": {:.0}, ",
+            "\"indexed_speedup\": {:.4}, \"register_per_lf_ns\": {:.0}, ",
+            "\"register_batch_ns\": {:.0}, \"register_speedup\": {:.4}}}"
+        ),
+        naive, indexed, kernel_speedup, per_lf, batch, register_speedup,
+    )
+}
+
 fn main() {
     let profile = Profile::from_env();
     let ds = build(DatasetName::Amazon, profile, 3);
@@ -278,6 +378,7 @@ fn main() {
         println!("{:<36} {:>8} {:>12} {:>12}", r.name, r.iters, human(r.mean_ns), human(r.min_ns));
     }
 
+    let engine_json = distance_engine_summary(&results);
     let loop_json = seu_loop_bench(&ds);
 
     let mut json = String::from("{\n");
@@ -296,6 +397,7 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!("  \"distance_engine\": {engine_json},\n"));
     json.push_str(&format!("  \"seu_loop\": {loop_json}\n"));
     json.push_str("}\n");
 

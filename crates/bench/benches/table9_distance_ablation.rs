@@ -13,9 +13,10 @@ use nemo_data::DatasetName;
 fn main() {
     let protocol = BenchProtocol::from_env();
     println!(
-        "Table 9 — distance-function ablation (profile: {}, {} seeds)",
+        "Table 9 — distance-function ablation (profile: {}, {} seeds, {} distance engine)",
         protocol.profile.name(),
-        protocol.n_seeds
+        protocol.n_seeds,
+        nemo_core::config::ContextualizerConfig::default().backend.name()
     );
     let methods = [Method::ClOnly, Method::ClEuclidean, Method::Snorkel];
     let datasets: Vec<_> = DatasetName::ALL.iter().map(|&n| protocol.dataset(n)).collect();

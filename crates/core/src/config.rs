@@ -39,6 +39,34 @@ impl LabelModelKind {
     }
 }
 
+/// Which distance engine backs the contextualizer's per-LF caches.
+///
+/// Both engines are bit-identical (the indexed kernel accumulates each
+/// row's matching terms in the same order as the row-major merge), so this
+/// switch never changes results — only how fast registration runs. The
+/// naive engine is retained for differential tests
+/// (`tests/contextualizer_paths.rs`) and the regression guard in
+/// `kernel_microbench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistanceBackend {
+    /// Inverted-index (CSC) kernel with batched, parallel registration —
+    /// the production path.
+    #[default]
+    Indexed,
+    /// Per-LF row-major scan (the pre-index reference path).
+    Naive,
+}
+
+impl DistanceBackend {
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistanceBackend::Indexed => "indexed",
+            DistanceBackend::Naive => "naive",
+        }
+    }
+}
+
 /// Contextualizer settings (paper Sec. 4.3).
 #[derive(Debug, Clone)]
 pub struct ContextualizerConfig {
@@ -47,11 +75,17 @@ pub struct ContextualizerConfig {
     /// Candidate percentile values for the refinement radius; the best is
     /// chosen per iteration by validation accuracy of the soft labels.
     pub p_grid: Vec<f64>,
+    /// Distance engine used to build the per-LF distance caches.
+    pub backend: DistanceBackend,
 }
 
 impl Default for ContextualizerConfig {
     fn default() -> Self {
-        Self { distance: Distance::Cosine, p_grid: vec![25.0, 50.0, 75.0, 100.0] }
+        Self {
+            distance: Distance::Cosine,
+            p_grid: vec![25.0, 50.0, 75.0, 100.0],
+            backend: DistanceBackend::default(),
+        }
     }
 }
 
@@ -120,6 +154,13 @@ mod tests {
         let c = ContextualizerConfig::default();
         assert_eq!(c.distance, Distance::Cosine);
         assert_eq!(c.p_grid, vec![25.0, 50.0, 75.0, 100.0]);
+        assert_eq!(c.backend, DistanceBackend::Indexed);
+    }
+
+    #[test]
+    fn backend_names_stable() {
+        assert_eq!(DistanceBackend::Indexed.name(), "indexed");
+        assert_eq!(DistanceBackend::Naive.name(), "naive");
     }
 
     #[test]

@@ -12,11 +12,20 @@
 //! resulting soft labels. Distances from each development point to the
 //! training and validation splits are computed once per LF and cached —
 //! refinement at any `p` is then a cheap filter.
+//!
+//! Registration is **batched**: all of a round's new LFs go through
+//! [`Contextualizer::register_batch`], which computes every train/valid
+//! distance vector in one pass over the feature matrices' inverted-index
+//! engine ([`nemo_data::Features::point_to_all_many`]), partitioned over
+//! the pivots in parallel. The per-LF naive path is selectable via
+//! [`crate::config::DistanceBackend::Naive`] for differential testing;
+//! both backends are bit-identical.
 
-use crate::config::ContextualizerConfig;
+use crate::config::{ContextualizerConfig, DistanceBackend};
 use nemo_data::Dataset;
 use nemo_labelmodel::{FittedLabelModel, LabelModel};
-use nemo_lf::{LabelMatrix, LfColumn, Lineage, PrimitiveLf};
+use nemo_lf::{LabelMatrix, LfColumn, Lineage, PrimitiveLf, TrackedLf};
+use nemo_sparse::parallel::par_map_min;
 use nemo_sparse::stats::percentile_of_sorted;
 
 /// Result of percentile tuning: the chosen `p`, the refined training
@@ -60,26 +69,55 @@ impl Contextualizer {
         self.train_dists.len()
     }
 
-    /// Register one LF with its development example, caching distances.
+    /// Register one LF with its development example, caching distances
+    /// (a batch of one; see [`Contextualizer::register_batch`]).
     pub fn register(&mut self, lf: &PrimitiveLf, dev_example: u32, ds: &Dataset) {
+        self.register_batch(&[TrackedLf { lf: *lf, dev_example, iteration: 0 }], ds);
+    }
+
+    /// Register a round's worth of LFs in one pass: every train and valid
+    /// distance vector is computed by a single batched call into the
+    /// configured distance engine, and the per-LF radius tables are sorted
+    /// in the same parallel partitioning.
+    pub fn register_batch(&mut self, recs: &[TrackedLf], ds: &Dataset) {
+        if recs.is_empty() {
+            return;
+        }
         let dist = self.config.distance;
-        let train_d = ds.train.features.point_to_all(dist, dev_example as usize);
-        let valid_d =
-            ds.train.features.point_to_other(dist, dev_example as usize, &ds.valid.features);
-        let mut sorted = train_d.clone();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
-        self.train_dists.push(train_d);
-        self.train_sorted.push(sorted);
-        self.valid_dists.push(valid_d);
-        self.raw_valid_cols.push(LfColumn::from_lf(lf, &ds.valid.corpus));
+        let pivots: Vec<usize> = recs.iter().map(|r| r.dev_example as usize).collect();
+        let (train_ds, valid_ds) = match self.config.backend {
+            DistanceBackend::Indexed => (
+                ds.train.features.point_to_all_many(dist, &pivots),
+                ds.train.features.point_to_other_many(dist, &pivots, &ds.valid.features),
+            ),
+            DistanceBackend::Naive => (
+                pivots.iter().map(|&p| ds.train.features.point_to_all_naive(dist, p)).collect(),
+                pivots
+                    .iter()
+                    .map(|&p| ds.train.features.point_to_other_naive(dist, p, &ds.valid.features))
+                    .collect(),
+            ),
+        };
+        let sorted: Vec<Vec<f64>> = par_map_min(&train_ds, 2, |_, d: &Vec<f64>| {
+            let mut s = d.clone();
+            s.sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+            s
+        });
+        for ((rec, train_d), (valid_d, sorted_d)) in
+            recs.iter().zip(train_ds).zip(valid_ds.into_iter().zip(sorted))
+        {
+            self.train_dists.push(train_d);
+            self.train_sorted.push(sorted_d);
+            self.valid_dists.push(valid_d);
+            self.raw_valid_cols.push(LfColumn::from_lf(&rec.lf, &ds.valid.corpus));
+        }
     }
 
     /// Register any lineage entries not yet cached (lineage is
-    /// append-only, so indices stay aligned).
+    /// append-only, so indices stay aligned) — the batch entry point
+    /// `Session`/`NemoSystem` reach through `ContextualizedPipeline`.
     pub fn sync(&mut self, lineage: &Lineage, ds: &Dataset) {
-        for rec in &lineage.tracked()[self.n_registered()..] {
-            self.register(&rec.lf, rec.dev_example, ds);
-        }
+        self.register_batch(&lineage.tracked()[self.n_registered()..], ds);
     }
 
     /// Refinement radius `r_j` at percentile `p`.
@@ -286,6 +324,32 @@ mod tests {
         // Mean log-likelihood of binary labels is negative and finite.
         assert!(tuned.valid_score <= 0.0 && tuned.valid_score.is_finite());
         assert_eq!(tuned.train_matrix.n_lfs(), matrix.n_lfs());
+    }
+
+    #[test]
+    fn batched_indexed_and_per_lf_naive_backends_identical() {
+        use crate::config::DistanceBackend;
+        let ds = toy_text(1);
+        let (_, _, lineage) = setup(&ds, 6, 9);
+        let mut batched = Contextualizer::new(ContextualizerConfig::default());
+        batched.sync(&lineage, &ds);
+        let naive_cfg =
+            ContextualizerConfig { backend: DistanceBackend::Naive, ..Default::default() };
+        let mut per_lf = Contextualizer::new(naive_cfg);
+        for rec in lineage.tracked() {
+            per_lf.register(&rec.lf, rec.dev_example, &ds);
+        }
+        assert_eq!(batched.n_registered(), per_lf.n_registered());
+        for j in 0..batched.n_registered() {
+            // Bit-identical caches, not just close: the indexed kernel
+            // performs the same float operations as the row-major scan.
+            assert_eq!(batched.train_dists[j], per_lf.train_dists[j], "train dists j={j}");
+            assert_eq!(batched.valid_dists[j], per_lf.valid_dists[j], "valid dists j={j}");
+            assert_eq!(batched.train_sorted[j], per_lf.train_sorted[j], "sorted j={j}");
+            for &p in &[0.0, 25.0, 50.0, 100.0] {
+                assert_eq!(batched.radius(j, p), per_lf.radius(j, p), "radius j={j} p={p}");
+            }
+        }
     }
 
     #[test]

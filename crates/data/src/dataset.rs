@@ -9,23 +9,34 @@
 //! primitive domain `Z`.
 
 use nemo_lf::{Label, Metric, PrimitiveCorpus};
-use nemo_sparse::{CsrMatrix, DenseMatrix, Distance, SparseVec};
+use nemo_sparse::{CscIndex, CsrMatrix, DenseMatrix, Distance, DistanceScratch, SparseVec};
 
 /// Feature vectors for one split. The canonical storage is CSR (sparse);
 /// dense features (the VG substitute's embeddings) additionally keep the
 /// dense form so distance kernels can use the cheaper dense path.
+///
+/// Sparse-backed features also carry the column-major [`CscIndex`]
+/// companion (built once here), so every point-to-all distance query runs
+/// through the inverted-index kernel: only the posting lists of the
+/// pivot's nonzero terms are walked. The naive row-major kernels stay
+/// reachable via the `*_naive` methods for differential tests and
+/// regression benchmarks; both paths are bit-identical by construction.
 #[derive(Debug, Clone)]
 pub struct Features {
     csr: CsrMatrix,
     dense: Option<DenseMatrix>,
+    /// Column-major companion; `Some` iff the features are sparse-backed
+    /// (dense-backed splits use the dense distance path instead).
+    csc: Option<CscIndex>,
     sq_norms: Vec<f64>,
 }
 
 impl Features {
-    /// Wrap a sparse feature matrix.
+    /// Wrap a sparse feature matrix, building its column-major companion.
     pub fn from_csr(csr: CsrMatrix) -> Self {
         let sq_norms = csr.row_sq_norms();
-        Self { csr, dense: None, sq_norms }
+        let csc = Some(CscIndex::from_csr(&csr));
+        Self { csr, dense: None, csc, sq_norms }
     }
 
     /// Wrap dense features, keeping a CSR mirror for model code that
@@ -45,7 +56,7 @@ impl Features {
             .collect();
         let csr = CsrMatrix::from_rows(&rows, dense.n_cols());
         let sq_norms = csr.row_sq_norms();
-        Self { csr, dense: Some(dense), sq_norms }
+        Self { csr, dense: Some(dense), csc: None, sq_norms }
     }
 
     /// Number of examples.
@@ -73,24 +84,163 @@ impl Features {
         &self.sq_norms
     }
 
+    /// Column-major companion index (`Some` iff sparse-backed).
+    pub fn csc(&self) -> Option<&CscIndex> {
+        self.csc.as_ref()
+    }
+
     /// Distances from example `pivot` (within this split) to every example
-    /// of this split.
+    /// of this split, through the indexed engine (allocating wrapper over
+    /// [`Features::point_to_all_into`]).
     pub fn point_to_all(&self, dist: Distance, pivot: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.point_to_all_into(dist, pivot, &mut DistanceScratch::new(), &mut out);
+        out
+    }
+
+    /// Indexed point-to-all into caller-owned buffers; repeated calls with
+    /// the same `scratch`/`out` are allocation-free.
+    pub fn point_to_all_into(
+        &self,
+        dist: Distance,
+        pivot: usize,
+        scratch: &mut DistanceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        match (&self.dense, &self.csc) {
+            (Some(d), _) => dist.dense_row_to_all_cached_into(
+                d.row(pivot),
+                self.sq_norms[pivot],
+                d,
+                &self.sq_norms,
+                out,
+            ),
+            (None, Some(csc)) => dist.sparse_point_to_all_indexed_into(
+                &self.csr,
+                csc,
+                pivot,
+                &self.sq_norms,
+                scratch,
+                out,
+            ),
+            (None, None) => unreachable!("sparse-backed features always carry a CscIndex"),
+        }
+    }
+
+    /// Point-to-all through the pre-index kernels (row-major scan for
+    /// sparse, per-pair norms for dense): the differential reference the
+    /// indexed engine is validated against.
+    pub fn point_to_all_naive(&self, dist: Distance, pivot: usize) -> Vec<f64> {
         match &self.dense {
             Some(d) => dist.dense_point_to_all(d, pivot),
             None => dist.sparse_point_to_all(&self.csr, pivot, &self.sq_norms),
         }
     }
 
+    /// Batched point-to-all: one distance vector per pivot, in pivot
+    /// order, partitioned over the pivots via `nemo_sparse::parallel`.
+    pub fn point_to_all_many(&self, dist: Distance, pivots: &[usize]) -> Vec<Vec<f64>> {
+        match (&self.dense, &self.csc) {
+            (Some(d), _) => dist.dense_point_to_all_many(d, pivots, &self.sq_norms),
+            (None, Some(csc)) => dist.sparse_point_to_all_many(
+                &self.csr,
+                &self.sq_norms,
+                pivots,
+                csc,
+                &self.sq_norms,
+            ),
+            (None, None) => unreachable!("sparse-backed features always carry a CscIndex"),
+        }
+    }
+
     /// Distances from example `pivot` of *this* split to every example of
-    /// `other` (same feature space; used to refine LFs on valid/test).
+    /// `other` (same feature space; used to refine LFs on valid/test),
+    /// through the indexed engine (allocating wrapper over
+    /// [`Features::point_to_other_into`]).
     pub fn point_to_other(&self, dist: Distance, pivot: usize, other: &Features) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.point_to_other_into(dist, pivot, other, &mut DistanceScratch::new(), &mut out);
+        out
+    }
+
+    /// Indexed cross-split point-to-all into caller-owned buffers.
+    pub fn point_to_other_into(
+        &self,
+        dist: Distance,
+        pivot: usize,
+        other: &Features,
+        scratch: &mut DistanceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        match (&self.dense, &other.dense, &other.csc) {
+            (Some(d_self), Some(d_other), _) => dist.dense_row_to_all_cached_into(
+                d_self.row(pivot),
+                self.sq_norms[pivot],
+                d_other,
+                &other.sq_norms,
+                out,
+            ),
+            (_, _, Some(csc)) => dist.sparse_row_to_all_indexed_into(
+                &self.csr.row(pivot),
+                self.sq_norms[pivot],
+                csc,
+                &other.sq_norms,
+                scratch,
+                out,
+            ),
+            // Mixed sparse pivot vs dense-backed target: the target has no
+            // CSC companion, so fall back to the row-major scan over its
+            // CSR mirror (matches the historical dispatch).
+            _ => dist.sparse_row_to_all_into(
+                &self.csr.row(pivot),
+                self.sq_norms[pivot],
+                &other.csr,
+                &other.sq_norms,
+                out,
+            ),
+        }
+    }
+
+    /// Cross-split point-to-all through the pre-index kernels (the
+    /// differential reference).
+    pub fn point_to_other_naive(&self, dist: Distance, pivot: usize, other: &Features) -> Vec<f64> {
         match (&self.dense, &other.dense) {
             (Some(d_self), Some(d_other)) => dist.dense_row_to_all(d_self.row(pivot), d_other),
             _ => {
                 let row = self.csr.row(pivot);
                 dist.sparse_row_to_all(&row, self.sq_norms[pivot], &other.csr, &other.sq_norms)
             }
+        }
+    }
+
+    /// Batched cross-split point-to-all: one distance vector per pivot of
+    /// *this* split against every example of `other`, in pivot order.
+    pub fn point_to_other_many(
+        &self,
+        dist: Distance,
+        pivots: &[usize],
+        other: &Features,
+    ) -> Vec<Vec<f64>> {
+        use nemo_sparse::parallel::par_flat_map_chunks;
+        match (&self.dense, &other.dense, &other.csc) {
+            (Some(_), Some(_), _) | (_, _, None) => par_flat_map_chunks(pivots, 2, |_, chunk| {
+                let mut scratch = DistanceScratch::new();
+                chunk
+                    .iter()
+                    .map(|&p| {
+                        let mut out = Vec::new();
+                        self.point_to_other_into(dist, p, other, &mut scratch, &mut out);
+                        out
+                    })
+                    .collect()
+            }),
+            (_, _, Some(csc)) => dist.sparse_point_to_all_many(
+                &self.csr,
+                &self.sq_norms,
+                pivots,
+                csc,
+                &other.sq_norms,
+            ),
         }
     }
 }
@@ -244,6 +394,57 @@ mod tests {
         let d = f1.point_to_other(Distance::Cosine, 0, &f2);
         assert!(d[0].abs() < 1e-9); // identical vector
         assert!((d[1] - 1.0).abs() < 1e-9); // orthogonal
+    }
+
+    #[test]
+    fn sparse_features_carry_csc_dense_do_not() {
+        let fs = tiny_features_sparse();
+        let csc = fs.csc().expect("sparse-backed features build a CscIndex");
+        assert_eq!(csc.n_rows(), fs.n());
+        assert_eq!(csc.nnz(), fs.csr().nnz());
+        let fd = Features::from_dense(DenseMatrix::from_rows(&[vec![1.0, 0.0]]));
+        assert!(fd.csc().is_none());
+    }
+
+    #[test]
+    fn indexed_naive_and_batched_paths_identical() {
+        let rows = vec![
+            SparseVec::from_pairs(vec![(0, 1.0), (2, 0.5)], 4),
+            SparseVec::from_pairs(vec![(1, 2.0)], 4),
+            SparseVec::zeros(4),
+            SparseVec::from_pairs(vec![(0, 0.5), (3, 1.0)], 4),
+        ];
+        let f = Features::from_csr(CsrMatrix::from_rows(&rows, 4));
+        let other = Features::from_csr(CsrMatrix::from_rows(&rows[..2], 4));
+        for dist in [Distance::Cosine, Distance::Euclidean] {
+            let pivots: Vec<usize> = (0..f.n()).collect();
+            let many = f.point_to_all_many(dist, &pivots);
+            let many_other = f.point_to_other_many(dist, &pivots, &other);
+            for (p, (m_row, mo_row)) in many.iter().zip(&many_other).enumerate() {
+                assert_eq!(f.point_to_all(dist, p), f.point_to_all_naive(dist, p), "{dist:?}");
+                assert_eq!(m_row, &f.point_to_all_naive(dist, p), "{dist:?} batched");
+                assert_eq!(
+                    f.point_to_other(dist, p, &other),
+                    f.point_to_other_naive(dist, p, &other),
+                    "{dist:?} cross"
+                );
+                assert_eq!(mo_row, &f.point_to_other_naive(dist, p, &other));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_backed_paths_identical() {
+        let d = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.5, 0.5], vec![0.0, 0.0]]);
+        let f = Features::from_dense(d);
+        for dist in [Distance::Cosine, Distance::Euclidean] {
+            let pivots: Vec<usize> = (0..f.n()).collect();
+            let many = f.point_to_all_many(dist, &pivots);
+            for (p, m_row) in many.iter().enumerate() {
+                assert_eq!(f.point_to_all(dist, p), f.point_to_all_naive(dist, p));
+                assert_eq!(m_row, &f.point_to_all_naive(dist, p));
+            }
+        }
     }
 
     #[test]

@@ -224,6 +224,42 @@ impl CsrMatrix {
     pub fn row_sq_norms(&self) -> Vec<f64> {
         (0..self.n_rows()).map(|r| self.row(r).sq_norm()).collect()
     }
+
+    /// Number of stored entries in every column (the posting-list length
+    /// profile a column-major index is sized from).
+    pub fn column_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_cols];
+        for &j in &self.indices {
+            counts[j as usize] += 1;
+        }
+        counts
+    }
+
+    /// CSC-style column offsets: `offsets[j]..offsets[j+1]` spans column
+    /// `j`'s entries after a counting-sort scatter (`offsets[n_cols]` is
+    /// the nnz). Shared by every column-major index built over this
+    /// matrix ([`crate::csc::CscIndex`], [`crate::index::InvertedIndex`]).
+    pub fn column_offsets(&self) -> Vec<usize> {
+        let counts = self.column_counts();
+        let mut offsets = Vec::with_capacity(self.n_cols + 1);
+        offsets.push(0usize);
+        for j in 0..self.n_cols {
+            offsets.push(offsets[j] + counts[j]);
+        }
+        offsets
+    }
+
+    /// Fraction of stored entries, `nnz / (rows · cols)` (0 for an empty
+    /// shape). TF-IDF matrices sit around 1%, which is what makes the
+    /// inverted-index distance kernel pay off.
+    pub fn density(&self) -> f64 {
+        let cells = self.n_rows() * self.n_cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
 }
 
 #[cfg(test)]

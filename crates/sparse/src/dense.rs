@@ -63,6 +63,15 @@ impl DenseMatrix {
         self.data.chunks_exact(self.n_cols.max(1)).take(self.n_rows)
     }
 
+    /// Cached squared L2 norms of every row (same summation order as the
+    /// per-pair norm computation in the distance kernels, so cached and
+    /// recomputed norms are bit-identical).
+    pub fn row_sq_norms(&self) -> Vec<f64> {
+        (0..self.n_rows)
+            .map(|r| self.row(r).iter().map(|&v| (v as f64) * (v as f64)).sum())
+            .collect()
+    }
+
     /// L2-normalize every row in place (zero rows untouched).
     pub fn l2_normalize_rows(&mut self) {
         for r in 0..self.n_rows {

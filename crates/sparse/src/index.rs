@@ -69,9 +69,21 @@ impl InvertedIndex {
     }
 
     /// Build from the non-zero pattern of a CSR feature matrix.
+    ///
+    /// CSR rows already hold strictly-increasing column ids, so this is a
+    /// direct counting sort over the stored pattern — no intermediate
+    /// per-document id lists are materialized.
     pub fn from_csr(m: &CsrMatrix) -> Self {
-        let docs: Vec<Vec<u32>> = m.rows().map(|r| r.indices.to_vec()).collect();
-        Self::from_docs(&docs, m.n_cols())
+        let offsets = m.column_offsets();
+        let mut cursor = offsets.clone();
+        let mut postings = vec![0u32; offsets[m.n_cols()]];
+        for (doc_id, row) in m.rows().enumerate() {
+            for &z in row.indices {
+                postings[cursor[z as usize]] = doc_id as u32;
+                cursor[z as usize] += 1;
+            }
+        }
+        Self { offsets, postings, n_docs: m.n_rows() }
     }
 
     /// Number of primitives in the domain.

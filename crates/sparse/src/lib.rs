@@ -11,6 +11,7 @@
 //! reproducible from its seed; and the [`parallel`] helpers return results
 //! in input order, so parallel runs are bit-identical to serial ones.
 
+pub mod csc;
 pub mod csr;
 pub mod dense;
 pub mod distance;
@@ -19,8 +20,9 @@ pub mod parallel;
 pub mod rng;
 pub mod stats;
 
+pub use csc::CscIndex;
 pub use csr::{CsrMatrix, SparseVec};
 pub use dense::DenseMatrix;
-pub use distance::Distance;
+pub use distance::{Distance, DistanceScratch};
 pub use index::InvertedIndex;
 pub use rng::DetRng;

@@ -94,6 +94,55 @@ where
     out
 }
 
+/// Partition `items` into at most [`num_threads`] contiguous chunks and
+/// map each chunk with `f(base, chunk)` (`base` = index of the chunk's
+/// first item), concatenating the per-chunk vectors in input order.
+///
+/// Unlike [`par_map`], the closure sees a whole partition at once, so
+/// per-worker state (e.g. a distance scratch accumulator) is allocated
+/// once per chunk instead of once per item. Inputs below `min_items` run
+/// as a single serial chunk. Results are deterministic: the output equals
+/// `f(0, items)` run serially whenever `f` itself is item-wise.
+pub fn par_flat_map_chunks<T, R, F>(items: &[T], min_items: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = if items.len() < min_items.max(2) { 1 } else { num_threads().min(items.len()) };
+    if threads <= 1 {
+        return f(0, items);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(c, slice)| {
+                let f = &f;
+                scope.spawn(move || f(c * chunk, slice))
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.push(part),
+                // Re-raise with the original payload so assertion
+                // messages from worker closures survive.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
 /// Map `f(i)` over `0..n`, returning results in index order.
 pub fn par_map_range<R, F>(n: usize, f: F) -> Vec<R>
 where
@@ -207,10 +256,32 @@ mod tests {
     }
 
     #[test]
+    fn par_flat_map_chunks_matches_serial() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let map_chunk = |base: usize, chunk: &[u64]| -> Vec<u64> {
+            chunk.iter().enumerate().map(|(j, &x)| x * 3 + (base + j) as u64).collect()
+        };
+        let out = par_flat_map_chunks(&items, 2, map_chunk);
+        assert_eq!(out, map_chunk(0, &items));
+    }
+
+    #[test]
+    fn par_flat_map_chunks_small_is_one_chunk() {
+        let items: Vec<u32> = (0..5).collect();
+        let out = par_flat_map_chunks(&items, 100, |base, chunk| {
+            assert_eq!(base, 0);
+            assert_eq!(chunk.len(), 5);
+            chunk.to_vec()
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
     fn empty_inputs() {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(&empty, |_, &x| x).is_empty());
         assert!(par_map_range(0, |i| i).is_empty());
+        assert!(par_flat_map_chunks(&empty, 0, |_, c| c.to_vec()).is_empty());
         let mut e2: Vec<u32> = Vec::new();
         par_for_each_mut(&mut e2, |_, _| {});
     }

@@ -39,7 +39,7 @@ impl TfIdf {
         let n = train_docs.len() as f64;
         let idf: Vec<f32> =
             df.iter().map(|&d| (((1.0 + n) / (1.0 + d as f64)).ln() + 1.0) as f32).collect();
-        TfIdfModel { idf, config: self.clone(), n_features }
+        TfIdfModel { idf, df, config: self.clone(), n_features, n_train_docs: train_docs.len() }
     }
 }
 
@@ -47,8 +47,12 @@ impl TfIdf {
 #[derive(Debug, Clone)]
 pub struct TfIdfModel {
     idf: Vec<f32>,
+    /// Training document frequency per feature — the posting-list length
+    /// profile of any index built over a matrix this model produces.
+    df: Vec<u32>,
     config: TfIdf,
     n_features: usize,
+    n_train_docs: usize,
 }
 
 impl TfIdfModel {
@@ -60,6 +64,36 @@ impl TfIdfModel {
     /// IDF weight of feature `t`.
     pub fn idf(&self, t: u32) -> f32 {
         self.idf[t as usize]
+    }
+
+    /// Training document frequency of feature `t` (the length feature
+    /// `t`'s posting list will have in a `CscIndex`/`InvertedIndex` built
+    /// over the training matrix).
+    pub fn df(&self, t: u32) -> u32 {
+        self.df[t as usize]
+    }
+
+    /// Number of documents the model was fitted on.
+    pub fn n_train_docs(&self) -> usize {
+        self.n_train_docs
+    }
+
+    /// Total stored entries of the training feature matrix (`Σ_t df(t)`),
+    /// i.e. the exact buffer size a column-major index over it needs.
+    pub fn train_nnz(&self) -> usize {
+        self.df.iter().map(|&d| d as usize).sum()
+    }
+
+    /// Density of the training feature matrix in `[0, 1]` — the statistic
+    /// that justifies routing distance queries through the inverted-index
+    /// kernel (TF-IDF matrices sit around 1%).
+    pub fn train_density(&self) -> f64 {
+        let cells = self.n_train_docs * self.n_features;
+        if cells == 0 {
+            0.0
+        } else {
+            self.train_nnz() as f64 / cells as f64
+        }
     }
 
     /// Transform one document (token-id sequence) into a sparse vector.
@@ -151,6 +185,22 @@ mod tests {
         let m = model.transform(&corpus());
         assert_eq!(m.n_rows(), 4);
         assert_eq!(m.n_cols(), 3);
+    }
+
+    #[test]
+    fn df_stats_match_transformed_matrix() {
+        let model = TfIdf::default().fit(&corpus(), 3);
+        assert_eq!(model.df(0), 4);
+        assert_eq!(model.df(1), 1);
+        assert_eq!(model.df(2), 0);
+        assert_eq!(model.n_train_docs(), 4);
+        let m = model.transform(&corpus());
+        assert_eq!(model.train_nnz(), m.nnz());
+        assert!((model.train_density() - m.density()).abs() < 1e-12);
+        let counts = m.column_counts();
+        for t in 0..3u32 {
+            assert_eq!(model.df(t) as usize, counts[t as usize], "feature {t}");
+        }
     }
 
     #[test]
