@@ -1,5 +1,5 @@
 //! Classic active-learning baselines (paper Sec. 5.2, "Other Interactive
-//! Schemes"): Uncertainty Sampling [20] and BALD [12, 17].
+//! Schemes"): Uncertainty Sampling \[20\] and BALD \[12, 17\].
 //!
 //! Unlike the IDP methods, active learning solicits a *single label
 //! annotation* per iteration: the oracle reveals the selected example's

@@ -1,5 +1,5 @@
 //! ImplyLoss-L: learning from rules generalizing labeled exemplars,
-//! Awasthi et al. [3], with linear networks (the paper's "-L" variant,
+//! Awasthi et al. \[3\], with linear networks (the paper's "-L" variant,
 //! Sec. 5.2 footnote 2).
 //!
 //! ImplyLoss consumes exactly the information Nemo's contextualizer does —

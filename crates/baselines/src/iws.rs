@@ -1,4 +1,4 @@
-//! IWS-LSE: Interactive Weak Supervision, Boecking et al. [6].
+//! IWS-LSE: Interactive Weak Supervision, Boecking et al. \[6\].
 //!
 //! A different interactive contract from IDP: instead of showing *data*
 //! and receiving LFs, the system proposes a *candidate LF* each iteration

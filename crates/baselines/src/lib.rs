@@ -4,14 +4,14 @@
 //!
 //! | Paper name | Here | Kind |
 //! |---|---|---|
-//! | Snorkel [28] | [`methods::Method::Snorkel`] | vanilla IDP: random selection + standard learning |
-//! | Snorkel-Abs [9] | [`selectors::AbstainSelector`] | selection-only IDP |
-//! | Snorkel-Dis [9] | [`selectors::DisagreeSelector`] | selection-only IDP |
-//! | ImplyLoss-L [3] | [`implyloss::ImplyLossPipeline`] | contextualized-learning-only IDP |
-//! | US [20] | [`active::UncertaintyAcquisition`] | classic active learning |
-//! | BALD [12, 17] | [`active::BaldAcquisition`] | Bayesian active learning |
-//! | IWS-LSE [6] | [`iws::IwsLse`] | interactive weak supervision |
-//! | Active WeaSuL [5] | [`weasul::ActiveWeasul`] | AL-assisted label-model denoising |
+//! | Snorkel \[28\] | [`methods::Method::Snorkel`] | vanilla IDP: random selection + standard learning |
+//! | Snorkel-Abs \[9\] | [`selectors::AbstainSelector`] | selection-only IDP |
+//! | Snorkel-Dis \[9\] | [`selectors::DisagreeSelector`] | selection-only IDP |
+//! | ImplyLoss-L \[3\] | [`implyloss::ImplyLossPipeline`] | contextualized-learning-only IDP |
+//! | US \[20\] | [`active::UncertaintyAcquisition`] | classic active learning |
+//! | BALD \[12, 17\] | [`active::BaldAcquisition`] | Bayesian active learning |
+//! | IWS-LSE \[6\] | [`iws::IwsLse`] | interactive weak supervision |
+//! | Active WeaSuL \[5\] | [`weasul::ActiveWeasul`] | AL-assisted label-model denoising |
 //!
 //! [`methods::Method`] is the unified entry point the benchmark harness
 //! uses: every method (including Nemo itself and its ablation variants)

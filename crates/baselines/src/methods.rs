@@ -23,21 +23,21 @@ use nemo_sparse::{DetRng, Distance};
 pub enum Method {
     /// Full Nemo: SEU selection + contextualized learning (Table 2).
     Nemo,
-    /// Vanilla IDP: random selection + standard learning [28].
+    /// Vanilla IDP: random selection + standard learning \[28\].
     Snorkel,
-    /// Selection-only IDP: abstain-based selection [9].
+    /// Selection-only IDP: abstain-based selection \[9\].
     SnorkelAbs,
-    /// Selection-only IDP: disagreement-based selection [9].
+    /// Selection-only IDP: disagreement-based selection \[9\].
     SnorkelDis,
-    /// CL-only IDP: random selection + ImplyLoss-L learning [3].
+    /// CL-only IDP: random selection + ImplyLoss-L learning \[3\].
     ImplyLossL,
-    /// Active learning with uncertainty sampling [20].
+    /// Active learning with uncertainty sampling \[20\].
     Us,
-    /// Bayesian active learning [12, 17].
+    /// Bayesian active learning \[12, 17\].
     Bald,
-    /// Interactive weak supervision [6].
+    /// Interactive weak supervision \[6\].
     IwsLse,
-    /// Active WeaSuL [5].
+    /// Active WeaSuL \[5\].
     ActiveWeasul,
     /// Ablation: SEU selection + standard learning
     /// (Table 4 "No LF Contextualizer"; Table 5 "SEU").
@@ -174,19 +174,25 @@ pub fn run_method(method: Method, ds: &Dataset, spec: &RunSpec) -> LearningCurve
         Method::SeuUniformUserModel => idp_run(
             ds,
             spec,
-            Box::new(SeuSelector { user_model: UserModelKind::Uniform, ..SeuSelector::new() }),
+            Box::new(SeuSelector::with(UserModelKind::Uniform, UtilityKind::Full)),
             Box::new(StandardPipeline),
         ),
         Method::SeuNoInformativeness => idp_run(
             ds,
             spec,
-            Box::new(SeuSelector { utility: UtilityKind::NoInformativeness, ..SeuSelector::new() }),
+            Box::new(SeuSelector::with(
+                UserModelKind::AccuracyWeighted,
+                UtilityKind::NoInformativeness,
+            )),
             Box::new(StandardPipeline),
         ),
         Method::SeuNoCorrectness => idp_run(
             ds,
             spec,
-            Box::new(SeuSelector { utility: UtilityKind::NoCorrectness, ..SeuSelector::new() }),
+            Box::new(SeuSelector::with(
+                UserModelKind::AccuracyWeighted,
+                UtilityKind::NoCorrectness,
+            )),
             Box::new(StandardPipeline),
         ),
         Method::ClEuclidean => idp_run(

@@ -1,4 +1,4 @@
-//! The heuristic selection-only baselines of Cohen-Wang et al. [9]
+//! The heuristic selection-only baselines of Cohen-Wang et al. \[9\]
 //! (paper Sec. 5.2/5.3: "Snorkel-Abs" and "Snorkel-Dis").
 
 use nemo_core::idp::{SelectionView, Selector};
@@ -8,7 +8,7 @@ use nemo_sparse::DetRng;
 /// Select the example on which the current LFs abstain the most — i.e.
 /// with the fewest non-abstain votes. Early on almost every example is
 /// fully abstained, so ties (broken uniformly at random) dominate and the
-/// strategy degrades gracefully to random sampling, as in [9].
+/// strategy degrades gracefully to random sampling, as in \[9\].
 #[derive(Debug, Clone, Default)]
 pub struct AbstainSelector;
 

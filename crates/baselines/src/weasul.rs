@@ -1,5 +1,5 @@
 //! Active WeaSuL: active learning to improve weak supervision,
-//! Biegel et al. [5].
+//! Biegel et al. \[5\].
 //!
 //! The method assumes a *fixed* set of LFs and spends its query budget on
 //! ground-truth labels that help the label model denoise them. Following

@@ -27,7 +27,7 @@ use nemo_core::session::{Session, SeuAggregates};
 use nemo_core::seu::SeuSelector;
 use nemo_data::catalog::{build, DatasetName, Profile};
 use nemo_data::Dataset;
-use nemo_labelmodel::{GenerativeModel, LabelModel, TripletModel};
+use nemo_labelmodel::{FittedLabelModel, GenerativeModel, LabelModel, TripletModel};
 use nemo_lf::{LabelMatrix, Lineage, PrimitiveLf};
 use nemo_sparse::{CscIndex, DetRng, Distance, DistanceScratch};
 use nemo_text::TfIdf;
@@ -256,9 +256,9 @@ fn replay(
     (LoopStats { total_ns, rounds: trajectory.len() - 1, checksum }, cache)
 }
 
-/// Record a real 25-round SEU trajectory and measure aggregate
-/// maintenance + full-pool scoring under both modes.
-fn seu_loop_bench(ds: &Dataset) -> String {
+/// Record a real 25-round SEU trajectory (and its lineage) with the
+/// session engine.
+fn record_trajectory(ds: &Dataset) -> (Vec<ModelOutputs>, Lineage) {
     let config = IdpConfig { n_iterations: 25, eval_every: 25, seed: 7, ..Default::default() };
     let mut session = Session::new(ds, config);
     let mut selector = SeuSelector::new();
@@ -269,12 +269,17 @@ fn seu_loop_bench(ds: &Dataset) -> String {
         session.step(&mut selector, &mut user, &mut pipeline);
         trajectory.push(session.outputs().clone());
     }
+    (trajectory, session.lineage().clone())
+}
 
+/// Measure aggregate maintenance + full-pool scoring under both modes
+/// over a recorded real trajectory.
+fn seu_loop_bench(ds: &Dataset, trajectory: &[ModelOutputs]) -> String {
     // Warm both paths once, then measure.
-    let _ = replay(ds, &trajectory, false);
-    let _ = replay(ds, &trajectory, true);
-    let (naive, _) = replay(ds, &trajectory, false);
-    let (incr, cache) = replay(ds, &trajectory, true);
+    let _ = replay(ds, trajectory, false);
+    let _ = replay(ds, trajectory, true);
+    let (naive, _) = replay(ds, trajectory, false);
+    let (incr, cache) = replay(ds, trajectory, true);
     assert!(
         (naive.checksum - incr.checksum).abs() <= 1e-9 * naive.checksum.abs().max(1.0),
         "incremental replay diverged: {} vs {}",
@@ -283,7 +288,8 @@ fn seu_loop_bench(ds: &Dataset) -> String {
     );
 
     let speedup = naive.total_ns / incr.total_ns;
-    let (rebuilds, deltas) = cache.sync_counts();
+    let (_, deltas) = cache.sync_counts();
+    let (dirty_majority, drift_bound) = cache.rebuild_fallback_counts();
     println!(
         "\nSEU interactive-loop aggregate maintenance ({} rounds, full-pool scoring):",
         naive.rounds
@@ -291,22 +297,294 @@ fn seu_loop_bench(ds: &Dataset) -> String {
     println!("  full rebuild per round : {}", human(naive.total_ns / naive.rounds as f64));
     println!("  incremental delta-sync : {}", human(incr.total_ns / incr.rounds as f64));
     println!(
-        "  speedup                : {speedup:.2}x  ({deltas} delta syncs, {} rebuild fallbacks)",
-        rebuilds - 1
+        "  speedup                : {speedup:.2}x  ({deltas} delta syncs, \
+         {} rebuild fallbacks: {dirty_majority} dirty-majority, {drift_bound} drift-bound)",
+        dirty_majority + drift_bound,
     );
 
     format!(
         concat!(
             "{{\"rounds\": {}, \"full_rebuild_ns\": {:.0}, \"incremental_ns\": {:.0}, ",
-            "\"speedup\": {:.4}, \"delta_syncs\": {}, \"rebuild_fallbacks\": {}}}"
+            "\"speedup\": {:.4}, \"delta_syncs\": {}, \"rebuild_fallbacks\": {}, ",
+            "\"fallbacks_dirty_majority\": {}, \"fallbacks_drift_bound\": {}}}"
         ),
         naive.rounds,
         naive.total_ns,
         incr.total_ns,
         speedup,
         deltas,
-        rebuilds - 1,
+        dirty_majority + drift_bound,
+        dirty_majority,
+        drift_bound,
     )
+}
+
+/// Replay a trajectory scoring the full pool each round through one of
+/// the two [`nemo_core::config::SeuScoring`] paths (both on top of the
+/// same incremental aggregate sync — the difference under test is purely
+/// the scoring).
+fn replay_scoring(
+    ds: &Dataset,
+    trajectory: &[ModelOutputs],
+    dirty: bool,
+) -> (LoopStats, SeuSelector) {
+    let mut selector = SeuSelector::new();
+    let excluded = vec![false; ds.train.n()];
+    let all: Vec<usize> = (0..ds.train.n()).collect();
+    let lineage = nemo_lf::Lineage::new();
+    let matrix = LabelMatrix::new(ds.train.n());
+    let mut cache = SeuAggregates::new(ds, &trajectory[0]);
+    let mut checksum = 0.0;
+    let start = Instant::now();
+    for outputs in &trajectory[1..] {
+        cache.sync(ds, outputs);
+        let view = SelectionView {
+            ds,
+            lineage: &lineage,
+            matrix: &matrix,
+            outputs,
+            excluded: &excluded,
+            iteration: 0,
+            aggs: Some(&cache),
+        };
+        checksum += if dirty {
+            let scores = selector.scores_cached(&view).expect("aggregates present");
+            scores.iter().copied().filter(|s| s.is_finite()).sum::<f64>()
+        } else {
+            let scores = selector.scores(&view, cache.aggs(), &all);
+            scores.iter().copied().filter(|s| s.is_finite()).sum::<f64>()
+        };
+    }
+    let total_ns = start.elapsed().as_nanos() as f64;
+    (LoopStats { total_ns, rounds: trajectory.len() - 1, checksum }, selector)
+}
+
+/// Synthetic *localized* trajectory: each round perturbs the model state
+/// of a handful of examples — the paper's "a development cycle perturbs
+/// a handful of primitives" pattern (skip rounds and explorer queries
+/// are the degenerate all-clean case).
+fn localized_trajectory(ds: &Dataset, start: &ModelOutputs, rounds: usize) -> Vec<ModelOutputs> {
+    use nemo_labelmodel::Posterior;
+    let mut rng = DetRng::new(23);
+    let n = ds.train.n();
+    let mut trajectory = vec![start.clone()];
+    for _ in 0..rounds {
+        let prev = trajectory.last().expect("non-empty");
+        let mut p_pos: Vec<f64> = (0..n).map(|i| prev.train_posterior.p_pos(i)).collect();
+        let mut probs = prev.train_probs.clone();
+        for _ in 0..4 {
+            let i = rng.index(n);
+            p_pos[i] = 0.01 + 0.98 * rng.uniform();
+            probs[i] = rng.uniform();
+        }
+        trajectory.push(ModelOutputs {
+            train_posterior: Posterior::new(p_pos),
+            train_probs: probs,
+            valid_pred: prev.valid_pred.clone(),
+            test_pred: prev.test_pred.clone(),
+            chosen_p: None,
+        });
+    }
+    trajectory
+}
+
+/// Dirty-set SEU scoring vs the per-round full-pool rescore, on the real
+/// session trajectory (dense change: every covered posterior moves each
+/// round, so the cache's exact-bail keeps parity) and on the localized
+/// trajectory (sparse change: incidence-level delta application wins).
+fn seu_dirty_bench(ds: &Dataset, trajectory: &[ModelOutputs]) -> (String, f64, f64) {
+    let localized = localized_trajectory(ds, &trajectory[trajectory.len() - 1], 25);
+
+    let measure = |traj: &[ModelOutputs]| {
+        let _ = replay_scoring(ds, traj, false);
+        let _ = replay_scoring(ds, traj, true);
+        let (full, _) = replay_scoring(ds, traj, false);
+        let (dirty, sel) = replay_scoring(ds, traj, true);
+        assert!(
+            (full.checksum - dirty.checksum).abs() <= 1e-9 * full.checksum.abs().max(1.0),
+            "dirty-set replay diverged: {} vs {}",
+            full.checksum,
+            dirty.checksum
+        );
+        (full, dirty, sel.dirty_stats())
+    };
+    let (sess_full, sess_dirty, sess_stats) = measure(trajectory);
+    let (loc_full, loc_dirty, loc_stats) = measure(&localized);
+
+    let sess_speedup = sess_full.total_ns / sess_dirty.total_ns;
+    let loc_speedup = loc_full.total_ns / loc_dirty.total_ns;
+    println!("\nDirty-set SEU scoring vs full-pool rescore (same incremental aggregates):");
+    println!(
+        "  session trajectory   : full {} -> dirty {} per round  ({sess_speedup:.2}x; \
+         {} delta rounds, {} exact)",
+        human(sess_full.total_ns / sess_full.rounds as f64),
+        human(sess_dirty.total_ns / sess_dirty.rounds as f64),
+        sess_stats.delta_rounds,
+        sess_stats.full_rescores,
+    );
+    println!(
+        "  localized trajectory : full {} -> dirty {} per round  ({loc_speedup:.2}x; \
+         {} incidence updates vs {} full-rescore slots)",
+        human(loc_full.total_ns / loc_full.rounds as f64),
+        human(loc_dirty.total_ns / loc_dirty.rounds as f64),
+        loc_stats.incidence_updates,
+        loc_stats.delta_rounds as usize * ds.train.corpus.total_postings(),
+    );
+
+    let json = format!(
+        concat!(
+            "{{\"rounds\": {}, \"session_full_rescore_ns\": {:.0}, \"session_dirty_ns\": {:.0}, ",
+            "\"session_speedup\": {:.4}, \"session_delta_rounds\": {}, ",
+            "\"session_exact_rounds\": {}, ",
+            "\"localized_full_rescore_ns\": {:.0}, \"localized_dirty_ns\": {:.0}, ",
+            "\"localized_speedup\": {:.4}, \"localized_incidence_updates\": {}, ",
+            "\"localized_rows_refreshed\": {}, \"total_postings\": {}}}"
+        ),
+        sess_full.rounds,
+        sess_full.total_ns,
+        sess_dirty.total_ns,
+        sess_speedup,
+        sess_stats.delta_rounds,
+        sess_stats.full_rescores,
+        loc_full.total_ns,
+        loc_dirty.total_ns,
+        loc_speedup,
+        loc_stats.incidence_updates,
+        loc_stats.rows_refreshed,
+        ds.train.corpus.total_postings(),
+    );
+    if std::env::var("NEMO_BENCH_ENFORCE").is_ok() {
+        // Session trajectory: the dense-change bail keeps the dirty path
+        // at parity with the full rescore — allow measurement noise only.
+        assert!(
+            sess_dirty.total_ns <= sess_full.total_ns * 1.25,
+            "regression: dirty-set SEU ({}) slower than full rescore ({}) on the session replay",
+            human(sess_dirty.total_ns),
+            human(sess_full.total_ns)
+        );
+        assert!(
+            loc_dirty.total_ns <= loc_full.total_ns,
+            "regression: dirty-set SEU ({}) slower than full rescore ({}) on localized updates",
+            human(loc_dirty.total_ns),
+            human(loc_full.total_ns)
+        );
+    }
+    // Per-round means for the combined-round summary.
+    (
+        json,
+        sess_full.total_ns / sess_full.rounds as f64,
+        sess_dirty.total_ns / sess_dirty.rounds as f64,
+    )
+}
+
+/// Warm-started vs cold percentile tuning with the EM label model: one
+/// *cross-round* tune at the full-lineage state, seeded (or not) from
+/// the previous round's per-grid-point fits — exactly the step a
+/// contextualized session repeats every iteration, on the lineage the
+/// recorded session actually collected.
+///
+/// The cold reference pairs `WarmStart::Cold` with the plain (Aitken-off)
+/// fixed-point EM — the pre-incremental behaviour, the way
+/// `DistanceBackend::Naive` preserves the pre-index distance engine. The
+/// warm path is the production default: Aitken-accelerated fits, seeded
+/// per grid point, run in parallel.
+fn tune_p_warm_bench(
+    ds: &Dataset,
+    lineage: &Lineage,
+    results: &mut Vec<BenchResult>,
+) -> (String, f64, f64) {
+    use nemo_core::config::WarmStart;
+    let n_lfs = lineage.len();
+    assert!(n_lfs >= 2, "recorded session collected too few LFs");
+    let lfs: Vec<PrimitiveLf> = lineage.tracked().iter().map(|r| r.lf).collect();
+    let prev_matrix = LabelMatrix::from_lfs(&lfs[..n_lfs - 1], &ds.train.corpus);
+    let matrix = LabelMatrix::from_lfs(&lfs, &ds.train.corpus);
+    let warm_model = GenerativeModel::default();
+    let cold_model = GenerativeModel { accel: false, ..Default::default() };
+    let prior = [0.5, 0.5];
+
+    // Previous round (one LF fewer): capture its per-grid-point seeds.
+    let mut prev_ctx = Contextualizer::new(ContextualizerConfig::default());
+    prev_ctx.register_batch(&lineage.tracked()[..n_lfs - 1], ds);
+    prev_ctx.tune_p(&prev_matrix, ds, &warm_model, prior);
+    let seeds: Vec<Vec<f64>> = prev_ctx.warm_seeds().to_vec();
+
+    let mut cold_ctx = Contextualizer::new(ContextualizerConfig {
+        warm_start: WarmStart::Cold,
+        ..Default::default()
+    });
+    cold_ctx.sync(lineage, ds);
+    let mut warm_ctx = Contextualizer::new(ContextualizerConfig::default());
+    warm_ctx.sync(lineage, ds);
+
+    let cold = bench("tune_p_cold_em", || cold_ctx.tune_p(&matrix, ds, &cold_model, prior).p);
+    let warm = bench("tune_p_warm_em", || {
+        // Restore the previous round's seeds so every timed call is one
+        // genuine cross-round warm tune (not a same-matrix refit).
+        warm_ctx.set_warm_seeds(seeds.clone());
+        warm_ctx.tune_p(&matrix, ds, &warm_model, prior).p
+    });
+
+    // EM iteration counts per grid point for the same cross-round step
+    // (computed outside the timing loops), plus a fixed-point agreement
+    // check: warm + accelerated must land where plain cold lands.
+    let p_grid = ContextualizerConfig::default().p_grid;
+    let mut iters_cold = 0usize;
+    let mut iters_warm = 0usize;
+    for (k, &p) in p_grid.iter().enumerate() {
+        let refined = cold_ctx.refined_train_matrix(&matrix, p);
+        let (fit_cold, ic) = cold_model.fit_em(&refined, prior, None);
+        let (fit_warm, iw) = warm_model.fit_em(&refined, prior, seeds.get(k).map(Vec::as_slice));
+        for (a, b) in fit_cold.lf_accuracies().iter().zip(fit_warm.lf_accuracies()) {
+            assert!(
+                (a - b).abs() < 1e-6,
+                "warm/accelerated fit diverged from the plain cold fixed point at p={p}: {a} vs {b}"
+            );
+        }
+        iters_cold += ic;
+        iters_warm += iw;
+    }
+
+    let speedup = cold.mean_ns / warm.mean_ns;
+    println!(
+        "\nPercentile tuning with the EM label model (cross-round step, {n_lfs} LFs, {} grid points):",
+        p_grid.len()
+    );
+    println!(
+        "  cold plain fits        : {} per tune_p  ({iters_cold} EM iterations)",
+        human(cold.mean_ns)
+    );
+    println!(
+        "  warm accelerated fits  : {} per tune_p  ({iters_warm} EM iterations)",
+        human(warm.mean_ns)
+    );
+    println!("  speedup                : {speedup:.2}x");
+
+    let json = format!(
+        concat!(
+            "{{\"lfs\": {}, \"grid_points\": {}, \"cold_ns\": {:.0}, \"warm_ns\": {:.0}, ",
+            "\"speedup\": {:.4}, \"em_iters_cold\": {}, \"em_iters_warm\": {}}}"
+        ),
+        n_lfs,
+        p_grid.len(),
+        cold.mean_ns,
+        warm.mean_ns,
+        speedup,
+        iters_cold,
+        iters_warm,
+    );
+    if std::env::var("NEMO_BENCH_ENFORCE").is_ok() {
+        assert!(
+            warm.mean_ns <= cold.mean_ns,
+            "regression: warm-started tune_p ({}) slower than cold fits ({})",
+            human(warm.mean_ns),
+            human(cold.mean_ns)
+        );
+    }
+    let (cold_mean, warm_mean) = (cold.mean_ns, warm.mean_ns);
+    results.push(cold);
+    results.push(warm);
+    (json, cold_mean, warm_mean)
 }
 
 /// Mean time of a named kernel result (panics if the kernel wasn't run).
@@ -378,8 +656,56 @@ fn main() {
         println!("{:<36} {:>8} {:>12} {:>12}", r.name, r.iters, human(r.mean_ns), human(r.min_ns));
     }
 
+    let (trajectory, session_lineage) = record_trajectory(&ds);
     let engine_json = distance_engine_summary(&results);
-    let loop_json = seu_loop_bench(&ds);
+    let loop_json = seu_loop_bench(&ds, &trajectory);
+    let (dirty_json, seu_full_round_ns, seu_dirty_round_ns) = seu_dirty_bench(&ds, &trajectory);
+    let (warm_json, tune_cold_ns, tune_warm_ns) =
+        tune_p_warm_bench(&ds, &session_lineage, &mut results);
+
+    // Combined contextualized-round headline: what one EM-tuned round
+    // cost before this PR's two incremental paths (stand-alone SEU kernel
+    // — the `seu_fast_path_full_pool` baseline ROADMAP names — plus cold
+    // tune_p) vs after (dirty-set scoring on incremental aggregates plus
+    // warm-started tune_p). The conservative table-rescore SEU baseline
+    // is recorded alongside.
+    let seu_standalone_ns = mean_of(&results, "seu_fast_path_full_pool");
+    let combined_cold = seu_standalone_ns + tune_cold_ns;
+    let combined_warm = seu_dirty_round_ns + tune_warm_ns;
+    let combined_speedup = combined_cold / combined_warm;
+    let conservative_speedup =
+        (seu_full_round_ns + tune_cold_ns) / (seu_dirty_round_ns + tune_warm_ns);
+    println!("\nCombined contextualized round (SEU scoring + EM percentile tuning):");
+    println!(
+        "  before : {} (stand-alone SEU {} + cold tune_p {})",
+        human(combined_cold),
+        human(seu_standalone_ns),
+        human(tune_cold_ns)
+    );
+    println!(
+        "  after  : {} (dirty-set SEU {} + warm tune_p {})",
+        human(combined_warm),
+        human(seu_dirty_round_ns),
+        human(tune_warm_ns)
+    );
+    println!(
+        "  speedup: {combined_speedup:.2}x  ({conservative_speedup:.2}x vs the \
+         incremental-aggregates + full-rescore baseline)"
+    );
+    let round_json = format!(
+        concat!(
+            "{{\"standalone_seu_ns\": {:.0}, \"table_rescore_seu_ns\": {:.0}, ",
+            "\"dirty_seu_ns\": {:.0}, \"cold_tune_ns\": {:.0}, \"warm_tune_ns\": {:.0}, ",
+            "\"combined_speedup\": {:.4}, \"conservative_speedup\": {:.4}}}"
+        ),
+        seu_standalone_ns,
+        seu_full_round_ns,
+        seu_dirty_round_ns,
+        tune_cold_ns,
+        tune_warm_ns,
+        combined_speedup,
+        conservative_speedup,
+    );
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"profile\": \"{}\",\n", profile.name()));
@@ -398,7 +724,10 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"distance_engine\": {engine_json},\n"));
-    json.push_str(&format!("  \"seu_loop\": {loop_json}\n"));
+    json.push_str(&format!("  \"seu_loop\": {loop_json},\n"));
+    json.push_str(&format!("  \"seu_dirty\": {dirty_json},\n"));
+    json.push_str(&format!("  \"tune_p_warm\": {warm_json},\n"));
+    json.push_str(&format!("  \"incremental_round\": {round_json}\n"));
     json.push_str("}\n");
 
     // Anchor to the workspace root (cargo bench sets CWD to the package).

@@ -1,7 +1,7 @@
 //! Table 5: selection strategies under the standard learning pipeline.
 //!
 //! Fix learning to the vanilla pipeline and compare selection alone:
-//! SEU vs Random [28] vs Abstain [9] vs Disagree [9].
+//! SEU vs Random \[28\] vs Abstain \[9\] vs Disagree \[9\].
 //! Paper: SEU consistently strongest (avg +16% over Random).
 
 use nemo_baselines::Method;

@@ -67,6 +67,78 @@ impl DistanceBackend {
     }
 }
 
+/// How the SEU selector scores the candidate pool each round.
+///
+/// A candidate's utility depends only on the score-table rows of its
+/// primitives, so the dirty-set path caches every candidate's score
+/// components and applies only the row deltas reported by the session's
+/// [`crate::session::SeuAggregates`] dirty log — `O(Σ_{z dirty} df(z) +
+/// n)` per round instead of the full `O(nnz(U))` rescore. A periodic
+/// drift re-anchor, aggregate rebuilds, and rounds whose dirty rows
+/// cover the entire posting mass recompute exactly, bit-identical to
+/// [`SeuScoring::Full`]; delta rounds agree within fp-drift tolerance
+/// (`1e-9`, differential-tested). The full path is retained for
+/// differential tests
+/// (`tests/incremental_differential.rs`, `tests/incremental_paths.rs`)
+/// and is the only path for stand-alone views without cached aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeuScoring {
+    /// Rescore only candidates covered by a dirty primitive; clean
+    /// candidates keep their cached utility — the production path.
+    #[default]
+    DirtySet,
+    /// Rebuild the score table and rescore the whole pool every round
+    /// (the pre-dirty-set reference path).
+    Full,
+}
+
+impl SeuScoring {
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeuScoring::DirtySet => "dirty-set",
+            SeuScoring::Full => "full",
+        }
+    }
+}
+
+/// Whether iterative label-model fits inside percentile tuning are seeded
+/// from previously fitted parameters.
+///
+/// With [`WarmStart::Warm`], [`crate::contextualizer::Contextualizer::tune_p`]
+/// seeds each grid point's EM fit from the parameters fitted at the same
+/// grid point one round earlier, and — because per-point seeding keeps
+/// the fits independent — runs the grid's fits in parallel, so a tuning
+/// round's wall-clock is one fit rather than one per grid point.
+/// Moment-based estimators (MeTaL
+/// triplets, majority vote) ignore the seed, making the switch a no-op
+/// for them. On well-conditioned matrices warm and cold fits agree
+/// within the EM tolerance (not bit-identically — differential-tested);
+/// on weakly-identified matrices, where EM is genuinely multimodal, warm
+/// seeding *tracks the incumbent basin* across rounds instead of
+/// re-picking one from the fixed initializer — see
+/// [`crate::contextualizer::Contextualizer::tune_p`] for why that is the
+/// intended semantics. The cold path remains selectable for differential
+/// tests and for restart-from-scratch reproducibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmStart {
+    /// Seed EM from previously fitted parameters — the production path.
+    #[default]
+    Warm,
+    /// Every fit starts from the estimator's default initialization.
+    Cold,
+}
+
+impl WarmStart {
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WarmStart::Warm => "warm",
+            WarmStart::Cold => "cold",
+        }
+    }
+}
+
 /// Contextualizer settings (paper Sec. 4.3).
 #[derive(Debug, Clone)]
 pub struct ContextualizerConfig {
@@ -77,6 +149,9 @@ pub struct ContextualizerConfig {
     pub p_grid: Vec<f64>,
     /// Distance engine used to build the per-LF distance caches.
     pub backend: DistanceBackend,
+    /// Whether percentile tuning warm-starts iterative label-model fits
+    /// across grid points and rounds.
+    pub warm_start: WarmStart,
 }
 
 impl Default for ContextualizerConfig {
@@ -85,6 +160,7 @@ impl Default for ContextualizerConfig {
             distance: Distance::Cosine,
             p_grid: vec![25.0, 50.0, 75.0, 100.0],
             backend: DistanceBackend::default(),
+            warm_start: WarmStart::default(),
         }
     }
 }
@@ -161,6 +237,21 @@ mod tests {
     fn backend_names_stable() {
         assert_eq!(DistanceBackend::Indexed.name(), "indexed");
         assert_eq!(DistanceBackend::Naive.name(), "naive");
+    }
+
+    #[test]
+    fn incremental_switch_names_stable() {
+        assert_eq!(SeuScoring::DirtySet.name(), "dirty-set");
+        assert_eq!(SeuScoring::Full.name(), "full");
+        assert_eq!(WarmStart::Warm.name(), "warm");
+        assert_eq!(WarmStart::Cold.name(), "cold");
+    }
+
+    #[test]
+    fn incremental_paths_are_the_defaults() {
+        assert_eq!(SeuScoring::default(), SeuScoring::DirtySet);
+        assert_eq!(WarmStart::default(), WarmStart::Warm);
+        assert_eq!(ContextualizerConfig::default().warm_start, WarmStart::Warm);
     }
 
     #[test]

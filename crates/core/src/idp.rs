@@ -18,8 +18,7 @@
 use crate::config::IdpConfig;
 use crate::oracle::User;
 use crate::pipeline::LearningPipeline;
-use crate::session::Session;
-use crate::utility::PrimAgg;
+use crate::session::{Session, SeuAggregates};
 use nemo_data::Dataset;
 use nemo_labelmodel::Posterior;
 use nemo_lf::{label_from_prob, Label, LabelMatrix, Lineage, PrimitiveLf};
@@ -90,10 +89,12 @@ pub struct SelectionView<'a> {
     pub excluded: &'a [bool],
     /// Current iteration (0-based).
     pub iteration: usize,
-    /// Per-primitive SEU aggregates consistent with `outputs`, when the
-    /// view comes from a [`Session`] that maintains them incrementally.
-    /// `None` makes aggregate-consuming selectors rebuild from scratch.
-    pub aggs: Option<&'a [PrimAgg]>,
+    /// The incrementally-maintained SEU aggregate cache (with its dirty
+    /// log) consistent with `outputs`, when the view comes from a
+    /// [`Session`]. `None` makes aggregate-consuming selectors rebuild
+    /// from scratch — and disables dirty-set score caching, which needs
+    /// the generation/dirty-log protocol to revalidate.
+    pub aggs: Option<&'a SeuAggregates>,
 }
 
 impl<'a> SelectionView<'a> {

@@ -20,7 +20,7 @@ use crate::utility::UtilityKind;
 
 /// The Eq. 5–6 multi-LF SEU selector.
 pub fn multi_lf_selector() -> SeuSelector {
-    SeuSelector { user_model: UserModelKind::MultiLfIndicator, utility: UtilityKind::Full }
+    SeuSelector::with(UserModelKind::MultiLfIndicator, UtilityKind::Full)
 }
 
 #[cfg(test)]

@@ -84,7 +84,7 @@ impl SimulatedUser {
     }
 
     /// All candidate LFs for example `x` with their true accuracies, in
-    /// primitive order. Lexicon membership is handled in [`Self::pick`],
+    /// primitive order. Lexicon membership is handled in `Self::pick`,
     /// which *prefers* threshold-passing lexicon candidates but may fall
     /// back to non-lexicon primitives (a real user is not limited to the
     /// lexicon; it only guides attention).

@@ -29,6 +29,50 @@ use crate::utility::PrimAgg;
 use nemo_data::Dataset;
 use nemo_lf::{LabelMatrix, LfColumn, Lineage, PrimitiveLf};
 use nemo_sparse::DetRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a [`SeuAggregates::sync`] fell back to a full rebuild instead of a
+/// delta update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildReason {
+    /// The constructor's initial population of the cache.
+    Initial,
+    /// The dirty set would touch more slots than the cost model allows
+    /// (see [`SeuAggregates::sync`] for the threshold and its rationale).
+    DirtyMajority,
+    /// Periodic re-anchor bounding floating-point drift of the in-place
+    /// sums.
+    DriftBound,
+}
+
+impl RebuildReason {
+    /// Name for logs and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RebuildReason::Initial => "initial",
+            RebuildReason::DirtyMajority => "dirty-majority",
+            RebuildReason::DriftBound => "drift-bound",
+        }
+    }
+}
+
+/// What one [`SeuAggregates::sync`] call did — returned to the caller and
+/// counted internally, so avoidable rebuilds are observable rather than
+/// silent (`BENCH_kernel.json` records the per-reason totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// No example's `(ψ, ŷ)` changed; the cache was already consistent.
+    Clean,
+    /// In-place delta update of the dirty examples' contributions.
+    Delta {
+        /// Examples whose `(ψ, ŷ)` changed.
+        dirty_examples: usize,
+        /// Primitive-occurrence slots those examples replayed.
+        dirty_slots: usize,
+    },
+    /// Full rebuild, with the reason it was forced.
+    Rebuild(RebuildReason),
+}
 
 /// Per-primitive SEU aggregates, maintained incrementally across learning
 /// rounds.
@@ -37,12 +81,41 @@ use nemo_sparse::DetRng;
 /// postings of `z` under the cached `psi` (posterior entropies) and `yhat`
 /// (end-model prediction signs) vectors, and those vectors match the
 /// `ModelOutputs` last passed to [`SeuAggregates::sync`].
-#[derive(Debug, Clone)]
+///
+/// Beyond the aggregates themselves, the cache keeps a **dirty log**: for
+/// every delta sync since the last full rebuild, the sorted set of
+/// primitives whose aggregate changed, tagged with a monotonically
+/// increasing generation. Downstream caches (the
+/// [`crate::seu::SeuSelector`] score cache) snapshot the generation when
+/// they compute, then ask [`SeuAggregates::dirty_prims_since`] what
+/// changed and revalidate only that — the dirty-set scoring path of
+/// [`crate::config::SeuScoring`]. The log is cleared at every rebuild
+/// (a rebuild dirties everything, reported as `None`), so its size is
+/// bounded by the drift-rebuild cadence (64 delta syncs).
+#[derive(Debug)]
 pub struct SeuAggregates {
+    /// Process-unique cache identity, so score caches keyed on
+    /// `(id, generation)` can never mistake one aggregate cache for
+    /// another (sessions and benches construct several).
+    id: u64,
     psi: Vec<f64>,
     yhat: Vec<i8>,
     aggs: Vec<PrimAgg>,
+    /// Bumped on every state change (delta or rebuild).
+    generation: u64,
+    /// `generation` value produced by the most recent full rebuild;
+    /// snapshots older than this predate the rebuild and must be fully
+    /// recomputed.
+    rebuild_generation: u64,
+    /// `(generation, dirty primitives)` per delta sync since the last
+    /// rebuild, in increasing generation order.
+    dirty_log: Vec<(u64, Vec<u32>)>,
+    /// Scratch flags for deduplicating dirty primitives (one slot per
+    /// primitive, cleared after each use).
+    prim_seen: Vec<bool>,
     full_rebuilds: usize,
+    rebuilds_dirty_majority: usize,
+    rebuilds_drift_bound: usize,
     delta_syncs: usize,
     delta_syncs_since_rebuild: usize,
     /// Primitive-occurrence slots updated by delta syncs (speedup
@@ -55,15 +128,66 @@ pub struct SeuAggregates {
 /// cached sums relative to a from-scratch rebuild.
 const MAX_DELTA_SYNCS_BETWEEN_REBUILDS: usize = 64;
 
+/// Dirty-majority fallback threshold, as a fraction of total postings:
+/// fall back to a rebuild only when `dirty_slots > 7/8 · nnz(U)`.
+///
+/// For the aggregates alone the break-even sits near 1/2 (a delta update
+/// costs ~2 adds per slot vs 1 per slot for a rebuild, and the original
+/// threshold was exactly that). But a rebuild also wipes the dirty log,
+/// which forces every downstream score cache to rescore the *entire*
+/// pool — the dominant per-round cost the dirty-set path exists to avoid.
+/// Charging the rebuild for that lost reuse moves the break-even close to
+/// 1: a delta that touches 60–80% of the slots still preserves partial
+/// score reuse, so only a near-total dirty set justifies rebuilding.
+/// Measured on the quick-profile replay this eliminated the avoidable
+/// `rebuild_fallbacks` the old 1/2 threshold produced (see
+/// `BENCH_kernel.json` `seu_loop.rebuild_fallbacks`).
+const DIRTY_MAJORITY_NUM: usize = 7;
+const DIRTY_MAJORITY_DEN: usize = 8;
+
+/// Source of process-unique [`SeuAggregates`] identities.
+static NEXT_AGGS_ID: AtomicU64 = AtomicU64::new(1);
+
+impl Clone for SeuAggregates {
+    /// Clones get a fresh identity: a clone diverges from its source on
+    /// the next sync, so score caches keyed on the source's `(id,
+    /// generation)` must not validate against the copy.
+    fn clone(&self) -> Self {
+        Self {
+            id: NEXT_AGGS_ID.fetch_add(1, Ordering::Relaxed),
+            psi: self.psi.clone(),
+            yhat: self.yhat.clone(),
+            aggs: self.aggs.clone(),
+            generation: self.generation,
+            rebuild_generation: self.rebuild_generation,
+            dirty_log: self.dirty_log.clone(),
+            prim_seen: self.prim_seen.clone(),
+            full_rebuilds: self.full_rebuilds,
+            rebuilds_dirty_majority: self.rebuilds_dirty_majority,
+            rebuilds_drift_bound: self.rebuilds_drift_bound,
+            delta_syncs: self.delta_syncs,
+            delta_syncs_since_rebuild: self.delta_syncs_since_rebuild,
+            delta_slots_updated: self.delta_slots_updated,
+        }
+    }
+}
+
 impl SeuAggregates {
     /// Build the cache from scratch for the given model state.
     pub fn new(ds: &Dataset, outputs: &ModelOutputs) -> Self {
         let n_primitives = ds.train.corpus.n_primitives();
         let mut cache = Self {
+            id: NEXT_AGGS_ID.fetch_add(1, Ordering::Relaxed),
             psi: Vec::new(),
             yhat: Vec::new(),
             aggs: vec![PrimAgg::default(); n_primitives],
+            generation: 0,
+            rebuild_generation: 0,
+            dirty_log: Vec::new(),
+            prim_seen: vec![false; n_primitives],
             full_rebuilds: 0,
+            rebuilds_dirty_majority: 0,
+            rebuilds_drift_bound: 0,
             delta_syncs: 0,
             delta_syncs_since_rebuild: 0,
             delta_slots_updated: 0,
@@ -77,14 +201,52 @@ impl SeuAggregates {
         &self.aggs
     }
 
+    /// Process-unique identity of this cache instance.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current generation; bumped on every state change. Snapshot it when
+    /// deriving state from [`SeuAggregates::aggs`], then revalidate with
+    /// [`SeuAggregates::dirty_prims_since`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// `(full rebuilds, delta syncs)` performed so far.
     pub fn sync_counts(&self) -> (usize, usize) {
         (self.full_rebuilds, self.delta_syncs)
     }
 
+    /// Rebuilds forced after the initial build, by reason:
+    /// `(dirty-majority, drift-bound)`.
+    pub fn rebuild_fallback_counts(&self) -> (usize, usize) {
+        (self.rebuilds_dirty_majority, self.rebuilds_drift_bound)
+    }
+
     /// Primitive-occurrence slots updated in place by delta syncs so far.
     pub fn delta_slots_updated(&self) -> u64 {
         self.delta_slots_updated
+    }
+
+    /// The sorted, deduplicated set of primitives whose aggregate changed
+    /// after generation `since` — or `None` when a full rebuild happened
+    /// since then (everything must be treated as dirty).
+    ///
+    /// `since == generation()` yields `Some([])`: nothing changed.
+    pub fn dirty_prims_since(&self, since: u64) -> Option<Vec<u32>> {
+        if since < self.rebuild_generation {
+            return None;
+        }
+        let mut dirty: Vec<u32> = self
+            .dirty_log
+            .iter()
+            .filter(|(generation, _)| *generation > since)
+            .flat_map(|(_, prims)| prims.iter().copied())
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        Some(dirty)
     }
 
     fn rebuild(&mut self, ds: &Dataset, outputs: &ModelOutputs) {
@@ -100,17 +262,23 @@ impl SeuAggregates {
         }
         self.full_rebuilds += 1;
         self.delta_syncs_since_rebuild = 0;
+        self.generation += 1;
+        self.rebuild_generation = self.generation;
+        self.dirty_log.clear();
     }
 
     /// Bring the cache in line with `outputs` by applying, in place, the
     /// contribution delta of every example whose `(psi, yhat)` changed —
-    /// `O(Σ_{i dirty} |prims(i)|)` instead of the `O(nnz(U))` rebuild.
+    /// `O(Σ_{i dirty} |prims(i)|)` instead of the `O(nnz(U))` rebuild —
+    /// and append the touched primitives to the dirty log.
     ///
-    /// Falls back to a full rebuild when the dirty set is so large the
-    /// delta would touch more slots than a rebuild scans, and forces one
-    /// every [`MAX_DELTA_SYNCS_BETWEEN_REBUILDS`] delta syncs to bound
-    /// floating-point drift of the in-place sums.
-    pub fn sync(&mut self, ds: &Dataset, outputs: &ModelOutputs) {
+    /// Falls back to a full rebuild when the dirty set covers nearly all
+    /// slots (`dirty_slots > 7/8 · nnz(U)`; see the cost model on the
+    /// threshold constants) and forces
+    /// one every 64 delta syncs (`MAX_DELTA_SYNCS_BETWEEN_REBUILDS`) to
+    /// bound floating-point drift of the in-place sums. The returned
+    /// [`SyncOutcome`] says which path ran and, for rebuilds, why.
+    pub fn sync(&mut self, ds: &Dataset, outputs: &ModelOutputs) -> SyncOutcome {
         let new_psi = outputs.train_posterior.entropies();
         let new_yhat = outputs.yhat_signs();
         debug_assert_eq!(new_psi.len(), self.psi.len());
@@ -123,30 +291,53 @@ impl SeuAggregates {
             .map(|i| i as u32)
             .collect();
         if dirty.is_empty() {
-            return;
+            return SyncOutcome::Clean;
         }
         let dirty_slots: usize =
             dirty.iter().map(|&i| corpus.primitives_of(i as usize).len()).sum();
-        if dirty_slots * 2 >= corpus.total_postings()
-            || self.delta_syncs_since_rebuild >= MAX_DELTA_SYNCS_BETWEEN_REBUILDS
-        {
+        let reason =
+            if dirty_slots * DIRTY_MAJORITY_DEN >= corpus.total_postings() * DIRTY_MAJORITY_NUM {
+                Some(RebuildReason::DirtyMajority)
+            } else if self.delta_syncs_since_rebuild >= MAX_DELTA_SYNCS_BETWEEN_REBUILDS {
+                Some(RebuildReason::DriftBound)
+            } else {
+                None
+            };
+        if let Some(reason) = reason {
+            match reason {
+                RebuildReason::DirtyMajority => self.rebuilds_dirty_majority += 1,
+                RebuildReason::DriftBound => self.rebuilds_drift_bound += 1,
+                RebuildReason::Initial => unreachable!("sync never reports Initial"),
+            }
             self.rebuild(ds, outputs);
-            return;
+            return SyncOutcome::Rebuild(reason);
         }
 
+        let mut dirty_prims = Vec::new();
         for &i in &dirty {
             let i = i as usize;
             let (old_psi, old_sign) = (self.psi[i], self.yhat[i]);
             let (np, ns) = (new_psi[i], new_yhat[i]);
             for &z in corpus.primitives_of(i) {
                 self.aggs[z as usize].apply_delta(old_psi, old_sign, np, ns);
+                if !self.prim_seen[z as usize] {
+                    self.prim_seen[z as usize] = true;
+                    dirty_prims.push(z);
+                }
             }
         }
+        for &z in &dirty_prims {
+            self.prim_seen[z as usize] = false;
+        }
+        dirty_prims.sort_unstable();
         self.psi = new_psi;
         self.yhat = new_yhat;
         self.delta_slots_updated += dirty_slots as u64;
         self.delta_syncs += 1;
         self.delta_syncs_since_rebuild += 1;
+        self.generation += 1;
+        self.dirty_log.push((self.generation, dirty_prims));
+        SyncOutcome::Delta { dirty_examples: dirty.len(), dirty_slots }
     }
 }
 
@@ -158,7 +349,7 @@ impl SeuAggregates {
 /// pipelines are passed *into* the methods that need them, so a single
 /// session can be driven interactively ([`Session::select_with`] /
 /// [`Session::submit`] / [`Session::skip`]) or in batch
-/// ([`Session::step`] / [`Session::run`]).
+/// ([`Session::step`]).
 pub struct Session<'a> {
     ds: &'a Dataset,
     config: IdpConfig,
@@ -244,7 +435,7 @@ impl<'a> Session<'a> {
             outputs: &self.outputs,
             excluded: &self.excluded,
             iteration: self.iteration,
-            aggs: Some(self.cache.aggs()),
+            aggs: Some(&self.cache),
         }
     }
 
@@ -262,7 +453,7 @@ impl<'a> Session<'a> {
             outputs: &self.outputs,
             excluded: &self.excluded,
             iteration: self.iteration,
-            aggs: Some(self.cache.aggs()),
+            aggs: Some(&self.cache),
         };
         let x = selector.select(&view, &mut self.rng)?;
         self.excluded[x] = true;

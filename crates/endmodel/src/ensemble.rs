@@ -1,6 +1,6 @@
 //! Bootstrap ensembles and the BALD acquisition score.
 //!
-//! BALD [12, 17] scores an example by the mutual information between its
+//! BALD \[12, 17\] scores an example by the mutual information between its
 //! predicted label and the model posterior, approximated over an ensemble
 //! of `K` models as
 //!

@@ -1,6 +1,6 @@
 //! Adam optimizer over a flat parameter vector.
 //!
-//! Used by the ImplyLoss-L baseline (paper Sec. 5.2, [3]), whose joint
+//! Used by the ImplyLoss-L baseline (paper Sec. 5.2, \[3\]), whose joint
 //! objective over the classification and rule networks is easier to train
 //! with an adaptive method than with plain SGD.
 

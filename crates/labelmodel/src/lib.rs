@@ -9,10 +9,10 @@
 //! - [`MajorityVote`] — the classic baseline aggregator.
 //! - [`GenerativeModel`] — a conditionally-independent generative model
 //!   with per-LF accuracy parameters fit by EM. This is the binary
-//!   specialization of the MeTaL [30] model class and the default label
+//!   specialization of the MeTaL \[30\] model class and the default label
 //!   model throughout the reproduction (the paper adopts MeTaL).
 //! - [`TripletModel`] — the closed-form method-of-moments estimator of
-//!   FlyingSquid [11], used as an alternative estimator and as a
+//!   FlyingSquid \[11\], used as an alternative estimator and as a
 //!   cross-check in tests.
 //!
 //! All models share the [`LabelModel`] → [`FittedLabelModel`] interface:

@@ -4,14 +4,39 @@ use crate::posterior::Posterior;
 use nemo_lf::LabelMatrix;
 use nemo_sparse::stats::sigmoid;
 
-/// An (unfitted) label model.
-pub trait LabelModel {
+/// An (unfitted) label model. `Send + Sync` so percentile tuning can fit
+/// independent grid points in parallel (all estimators are plain-data
+/// configuration structs).
+pub trait LabelModel: Send + Sync {
     /// Estimator name (for reports).
     fn name(&self) -> &'static str;
 
     /// Fit LF accuracies on `matrix` with class prior
     /// `prior = [P(y=−1), P(y=+1)]`, returning a fitted aggregator.
     fn fit(&self, matrix: &LabelMatrix, prior: [f64; 2]) -> Box<dyn FittedLabelModel>;
+
+    /// Fit, optionally seeding the estimator from previously fitted
+    /// per-LF accuracies (`warm_acc[j]` seeds LF `j`; missing tail
+    /// entries use the estimator's default initialization, extra entries
+    /// are ignored).
+    ///
+    /// Closed-form estimators (moments, majority vote) have nothing to
+    /// seed and fall through to [`LabelModel::fit`]; iterative
+    /// estimators ([`crate::GenerativeModel`]) override this to converge
+    /// from the seed instead of from scratch. Callers that tolerate
+    /// convergence-level (rather than bitwise) reproducibility can chain
+    /// fits over slowly-changing matrices this way — the
+    /// percentile-tuning loop of the contextualizer is the intended
+    /// consumer.
+    fn fit_from(
+        &self,
+        matrix: &LabelMatrix,
+        prior: [f64; 2],
+        warm_acc: Option<&[f64]>,
+    ) -> Box<dyn FittedLabelModel> {
+        let _ = warm_acc;
+        self.fit(matrix, prior)
+    }
 }
 
 /// A fitted label model: can score any label matrix over the same LFs.

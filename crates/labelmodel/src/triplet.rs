@@ -1,4 +1,4 @@
-//! Triplet (method-of-moments) label model — FlyingSquid [11].
+//! Triplet (method-of-moments) label model — FlyingSquid \[11\].
 //!
 //! Under the conditionally-independent binary model with symmetric
 //! accuracies and balanced classes, the pairwise agreement moment between

@@ -65,7 +65,7 @@ impl LfColumn {
 }
 
 /// Per-example vote counts, used by the Abstain/Disagree selection
-/// baselines [9] and the majority-vote label model.
+/// baselines \[9\] and the majority-vote label model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VoteSummary {
     /// Number of LFs voting +1.
@@ -88,7 +88,7 @@ impl VoteSummary {
 }
 
 /// The label matrix: `m` LF columns over `n` examples.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LabelMatrix {
     columns: Vec<LfColumn>,
     n_examples: usize,

@@ -181,7 +181,7 @@ pub mod collection {
     use super::{Strategy, TestRunner};
     use std::ops::Range;
 
-    /// Size specifier for [`vec`]: a fixed length or a half-open range.
+    /// Size specifier for [`vec()`]: a fixed length or a half-open range.
     #[derive(Debug, Clone)]
     pub enum SizeRange {
         /// Exactly this many elements.

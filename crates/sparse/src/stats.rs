@@ -25,7 +25,7 @@ pub fn binary_entropy(p: f64) -> f64 {
     entropy(&[p, 1.0 - p])
 }
 
-/// The `p`-th percentile (p in [0, 100]) of `values` using linear
+/// The `p`-th percentile (p in \[0, 100\]) of `values` using linear
 /// interpolation between closest ranks (the "linear" / type-7 method).
 ///
 /// This is the radius rule of the contextualizer: `r_j` is the `p`-th

@@ -116,11 +116,11 @@ fn parallel_scores_bit_identical_to_serial_and_match_naive() {
         drive(&mut session, &mut pipeline, 6, |_| {});
 
         let view = session.view();
-        let aggs = view.aggs.expect("session views carry cached aggregates");
+        let aggs = view.aggs.expect("session views carry cached aggregates").aggs();
         let avail = view.available();
         for um in USER_MODELS {
             for ut in UTILITIES {
-                let sel = SeuSelector { user_model: um, utility: ut };
+                let sel = SeuSelector::with(um, ut);
                 let table = sel.score_table(&view, aggs);
                 // Force the chunked parallel path regardless of pool size.
                 let parallel: Vec<f64> =
@@ -165,7 +165,7 @@ fn cached_and_rebuilt_aggregates_select_identically() {
             let uncached_view = SelectionView { aggs: None, ..s.view() };
             for um in USER_MODELS {
                 for ut in UTILITIES {
-                    let mut sel = SeuSelector { user_model: um, utility: ut };
+                    let mut sel = SeuSelector::with(um, ut);
                     let mut rng_a = DetRng::new(seed ^ 0xA5);
                     let mut rng_b = DetRng::new(seed ^ 0xA5);
                     assert_eq!(
