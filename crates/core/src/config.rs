@@ -139,6 +139,44 @@ impl WarmStart {
     }
 }
 
+/// How `tune_p` obtains the per-grid-point refined label matrices.
+///
+/// Refinement at a fixed percentile is a pure function of the raw column
+/// and the radius `r_j(p)`, and between interactive rounds almost nothing
+/// feeding that function changes: lineage is append-only, so an existing
+/// LF's distance table (hence its radius at every grid point) is frozen
+/// at registration, and its raw column is built once. The incremental
+/// path therefore caches every `(grid point, LF)` pair's filtered
+/// train/valid columns keyed by the radius bits and the raw column's
+/// construction token ([`nemo_lf::LfColumn::token`]), and refilters a
+/// column only when its key actually changed — on a warm round that is
+/// just the newly registered LFs, `O(grid)` filters instead of
+/// `O(grid · lfs)`. Served columns are clones of the cached filter
+/// output, so both paths produce **bit-identical** matrices, tuned
+/// percentiles, and dedup (`repr`/`unique`) resolution; the rebuild path
+/// is retained for differential tests (`tests/refine_cache_differential.rs`)
+/// and the `refine_cache` regression guard in `kernel_microbench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefinementCaching {
+    /// Serve unchanged columns from the cross-round refined-column cache —
+    /// the production path.
+    #[default]
+    Incremental,
+    /// Re-filter every LF column at every grid point each round (the
+    /// pre-cache reference path).
+    Rebuild,
+}
+
+impl RefinementCaching {
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RefinementCaching::Incremental => "incremental",
+            RefinementCaching::Rebuild => "rebuild",
+        }
+    }
+}
+
 /// Contextualizer settings (paper Sec. 4.3).
 #[derive(Debug, Clone)]
 pub struct ContextualizerConfig {
@@ -152,6 +190,9 @@ pub struct ContextualizerConfig {
     /// Whether percentile tuning warm-starts iterative label-model fits
     /// across grid points and rounds.
     pub warm_start: WarmStart,
+    /// Whether `tune_p` serves per-grid-point refined columns from the
+    /// cross-round cache or refilters everything each round.
+    pub refinement: RefinementCaching,
 }
 
 impl Default for ContextualizerConfig {
@@ -161,6 +202,7 @@ impl Default for ContextualizerConfig {
             p_grid: vec![25.0, 50.0, 75.0, 100.0],
             backend: DistanceBackend::default(),
             warm_start: WarmStart::default(),
+            refinement: RefinementCaching::default(),
         }
     }
 }
@@ -245,6 +287,8 @@ mod tests {
         assert_eq!(SeuScoring::Full.name(), "full");
         assert_eq!(WarmStart::Warm.name(), "warm");
         assert_eq!(WarmStart::Cold.name(), "cold");
+        assert_eq!(RefinementCaching::Incremental.name(), "incremental");
+        assert_eq!(RefinementCaching::Rebuild.name(), "rebuild");
     }
 
     #[test]
@@ -252,6 +296,8 @@ mod tests {
         assert_eq!(SeuScoring::default(), SeuScoring::DirtySet);
         assert_eq!(WarmStart::default(), WarmStart::Warm);
         assert_eq!(ContextualizerConfig::default().warm_start, WarmStart::Warm);
+        assert_eq!(RefinementCaching::default(), RefinementCaching::Incremental);
+        assert_eq!(ContextualizerConfig::default().refinement, RefinementCaching::Incremental);
     }
 
     #[test]

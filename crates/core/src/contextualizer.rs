@@ -21,7 +21,7 @@
 //! [`crate::config::DistanceBackend::Naive`] for differential testing;
 //! both backends are bit-identical.
 
-use crate::config::{ContextualizerConfig, DistanceBackend, WarmStart};
+use crate::config::{ContextualizerConfig, DistanceBackend, RefinementCaching, WarmStart};
 use nemo_data::Dataset;
 use nemo_labelmodel::{FittedLabelModel, LabelModel};
 use nemo_lf::{LabelMatrix, LfColumn, Lineage, PrimitiveLf, TrackedLf};
@@ -42,6 +42,34 @@ pub struct TunedRefinement {
     pub valid_score: f64,
 }
 
+/// One `(grid point, LF)` slot of the cross-round refined-column cache:
+/// the filtered train and valid columns, plus the key they were filtered
+/// under — the radius (bitwise) and the raw train column's construction
+/// token. Lineage is append-only, so for an existing LF neither component
+/// moves between rounds and the slot stays valid until the caller changes
+/// the grid or swaps the raw matrix.
+struct RefinedEntry {
+    /// `radius(j, p).to_bits()` at filter time.
+    radius_bits: u64,
+    /// [`LfColumn::token`] of the raw train column the train column was
+    /// filtered from (the valid column's raw source is owned by the
+    /// contextualizer and immutable, so it needs no key).
+    raw_token: u64,
+    train: LfColumn,
+    valid: LfColumn,
+}
+
+/// Cumulative refined-column cache counters (bench accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefineCacheStats {
+    /// `(grid point, LF)` slots served from the cache.
+    pub hits: usize,
+    /// Slots filtered from the raw column (cold slots, radius changes,
+    /// raw-column changes — and every slot under
+    /// [`RefinementCaching::Rebuild`]).
+    pub refilters: usize,
+}
+
 /// The contextualizer with per-LF distance caches.
 pub struct Contextualizer {
     /// Configuration (distance function and percentile grid).
@@ -58,6 +86,10 @@ pub struct Contextualizer {
     /// Label-model fit iterations spent by `tune_p` so far (bench
     /// accounting; only iterative estimators report non-trivial counts).
     tune_fits: usize,
+    /// Cross-round refined-column cache, `[grid slot][lf]`, lazily grown
+    /// and revalidated per slot (see [`RefinementCaching`]).
+    refined_cache: Vec<Vec<Option<RefinedEntry>>>,
+    cache_stats: RefineCacheStats,
 }
 
 impl Contextualizer {
@@ -71,12 +103,32 @@ impl Contextualizer {
             raw_valid_cols: Vec::new(),
             warm_accs: Vec::new(),
             tune_fits: 0,
+            refined_cache: Vec::new(),
+            cache_stats: RefineCacheStats::default(),
         }
     }
 
     /// Label-model fits performed by [`Contextualizer::tune_p`] so far.
     pub fn tune_fits(&self) -> usize {
         self.tune_fits
+    }
+
+    /// Cumulative refined-column cache hit/refilter counters (only the
+    /// [`RefinementCaching::Incremental`] path records hits).
+    pub fn refine_cache_stats(&self) -> RefineCacheStats {
+        self.cache_stats
+    }
+
+    /// Drop cached refined columns for LFs with index `≥ from` at every
+    /// grid point. The cache self-invalidates through its keys, so
+    /// ordinary sessions never need this; it exists for state restoration
+    /// (a checkpoint restored with [`Contextualizer::set_warm_seeds`] may
+    /// reuse a contextualizer whose cache outlived the checkpoint) and
+    /// for benches that re-measure the same warm round repeatedly.
+    pub fn invalidate_refined_cache_from(&mut self, from: usize) {
+        for slot in &mut self.refined_cache {
+            slot.truncate(from);
+        }
     }
 
     /// Per-grid-point warm-start seeds captured by the last
@@ -153,8 +205,21 @@ impl Contextualizer {
     }
 
     /// Refinement radius `r_j` at percentile `p`.
+    ///
+    /// An LF registered against an **empty training split** has no
+    /// reference distances to take a percentile of
+    /// ([`nemo_sparse::stats::percentile_of_sorted`] asserts on empty
+    /// input). The radius is *defined* as `+∞` there: with no distance
+    /// information the contextualizer cannot justify shrinking coverage,
+    /// so refinement degrades to the identity (every example is within
+    /// radius) — consistent with the `p = 100` endpoint — instead of
+    /// panicking deep inside the stats crate.
     pub fn radius(&self, j: usize, p: f64) -> f64 {
-        percentile_of_sorted(&self.train_sorted[j], p)
+        let sorted = &self.train_sorted[j];
+        if sorted.is_empty() {
+            return f64::INFINITY;
+        }
+        percentile_of_sorted(sorted, p)
     }
 
     /// Refine LF `j`'s raw training column at percentile `p`.
@@ -191,6 +256,89 @@ impl Contextualizer {
         out
     }
 
+    /// The per-grid-point refined train and valid matrices `tune_p`
+    /// consumes (one pair per entry of `config.p_grid`, in grid order).
+    ///
+    /// Under [`RefinementCaching::Incremental`] each `(grid point, LF)`
+    /// column pair is served from the cross-round cache when its key —
+    /// the radius bits and the raw train column's
+    /// [`nemo_lf::LfColumn::token`] — matches, and refiltered (then
+    /// re-cached) otherwise. Because lineage is append-only and an
+    /// existing LF's distance table is frozen at registration, a warm
+    /// round refilters only the newly registered LFs' columns: `O(grid)`
+    /// filters instead of the rebuild path's `O(grid · lfs)`. Served
+    /// columns are clones of the cached filter output, so both paths are
+    /// bit-identical — the `refine_cache` differential suite and bench
+    /// guard pin this.
+    ///
+    /// Under [`RefinementCaching::Rebuild`] every column is refiltered
+    /// through [`Contextualizer::refined_train_matrix`] /
+    /// [`Contextualizer::refined_valid_matrix`] (the reference path).
+    pub fn refined_grid_matrices(
+        &mut self,
+        raw_train: &LabelMatrix,
+        n_valid: usize,
+    ) -> (Vec<LabelMatrix>, Vec<LabelMatrix>) {
+        assert_eq!(raw_train.n_lfs(), self.n_registered(), "matrix/lineage mismatch");
+        let p_grid = self.config.p_grid.clone();
+        if self.config.refinement == RefinementCaching::Rebuild {
+            self.cache_stats.refilters += p_grid.len() * self.n_registered();
+            let train = p_grid.iter().map(|&p| self.refined_train_matrix(raw_train, p)).collect();
+            let valid = p_grid.iter().map(|&p| self.refined_valid_matrix(p, n_valid)).collect();
+            return (train, valid);
+        }
+
+        // The grid is position-keyed: slot k caches whatever radius
+        // p_grid[k] last produced, so a grown/shrunk grid resizes the
+        // outer vec and an edited percentile invalidates through the
+        // radius key alone.
+        let n_lfs = self.n_registered();
+        self.refined_cache.resize_with(p_grid.len(), Vec::new);
+        let mut train_out = Vec::with_capacity(p_grid.len());
+        let mut valid_out = Vec::with_capacity(p_grid.len());
+        for (k, &p) in p_grid.iter().enumerate() {
+            let mut train_m = LabelMatrix::new(raw_train.n_examples());
+            let mut valid_m = LabelMatrix::new(n_valid);
+            for j in 0..n_lfs {
+                let r = self.radius(j, p);
+                let raw = raw_train.column(j);
+                let slot = &mut self.refined_cache[k];
+                if slot.len() <= j {
+                    slot.resize_with(n_lfs, || None);
+                }
+                let fresh = matches!(
+                    &slot[j],
+                    Some(e) if e.radius_bits == r.to_bits() && e.raw_token == raw.token()
+                );
+                if fresh {
+                    self.cache_stats.hits += 1;
+                } else {
+                    let train = {
+                        let d = &self.train_dists[j];
+                        raw.filtered(|i| d[i as usize] <= r)
+                    };
+                    let valid = {
+                        let d = &self.valid_dists[j];
+                        self.raw_valid_cols[j].filtered(|i| d[i as usize] <= r)
+                    };
+                    slot[j] = Some(RefinedEntry {
+                        radius_bits: r.to_bits(),
+                        raw_token: raw.token(),
+                        train,
+                        valid,
+                    });
+                    self.cache_stats.refilters += 1;
+                }
+                let entry = slot[j].as_ref().expect("slot populated above");
+                train_m.push(entry.train.clone());
+                valid_m.push(entry.valid.clone());
+            }
+            train_out.push(train_m);
+            valid_out.push(valid_m);
+        }
+        (train_out, valid_out)
+    }
+
     /// Select `p` from the grid by the validation quality of the
     /// resulting soft labels (paper Sec. 4.3).
     ///
@@ -205,7 +353,11 @@ impl Contextualizer {
     /// model consumes — how much better than the prior the soft labels
     /// are, weighted by how many examples enjoy that improvement. The
     /// grid is scanned in order with `>=`, so among genuine ties the
-    /// largest percentile (widest coverage) wins.
+    /// largest percentile (widest coverage) wins. When the validation
+    /// split is **empty** every score is vacuously zero and no signal
+    /// exists to certify any refinement, so the widest-coverage tie-break
+    /// is applied explicitly: the largest percentile in the grid is
+    /// selected regardless of grid order, with `valid_score = 0.0`.
     ///
     /// Under [`WarmStart::Warm`] (the default) each grid point's label
     /// model is fitted via [`LabelModel::fit_from`], seeded from the
@@ -245,17 +397,20 @@ impl Contextualizer {
         let warm = self.config.warm_start == WarmStart::Warm;
         let p_grid = self.config.p_grid.clone();
 
-        // Refined matrix per grid point, then dedup: when adjacent
-        // percentiles quantize to the same refined matrix (no distance
-        // falls between the radii), the representative's fit is rebuilt
-        // from its accuracies instead of refitting — both a redundant-fit
-        // saving and the guarantee that identical matrices score with
-        // *identical* parameters, so the `>=` tie-break below resolves
-        // the same way under warm and cold fits. (All estimators in this
-        // workspace aggregate through `NaiveBayesFit`, whose construction
-        // from the clamped accuracies is bitwise idempotent.)
-        let matrices: Vec<LabelMatrix> =
-            p_grid.iter().map(|&p| self.refined_train_matrix(raw_train, p)).collect();
+        // Refined matrix per grid point — served from the cross-round
+        // refined-column cache under `RefinementCaching::Incremental` —
+        // then dedup: when adjacent percentiles quantize to the same
+        // refined matrix (no distance falls between the radii), the
+        // representative's fit is rebuilt from its accuracies instead of
+        // refitting — both a redundant-fit saving and the guarantee that
+        // identical matrices score with *identical* parameters, so the
+        // `>=` tie-break below resolves the same way under warm and cold
+        // fits. (All estimators in this workspace aggregate through
+        // `NaiveBayesFit`, whose construction from the clamped accuracies
+        // is bitwise idempotent. Column equality short-circuits through
+        // construction tokens but remains content equality, so cached and
+        // rebuilt matrices resolve `repr`/`unique` identically.)
+        let (matrices, valid_matrices) = self.refined_grid_matrices(raw_train, ds.valid.n());
         let repr: Vec<usize> = (0..matrices.len())
             .map(|k| (0..k).find(|&j| matrices[j] == matrices[k]).unwrap_or(k))
             .collect();
@@ -293,25 +448,55 @@ impl Contextualizer {
         }
 
         // Score every grid point on validation and keep the best.
+        //
+        // Degenerate case: with an **empty validation split** every grid
+        // point's mean log-likelihood is vacuously zero, and the `>=`
+        // scan would silently select whatever percentile happens to sit
+        // last in the grid. With no validation signal the principled
+        // choice is to not refine at all — refinement trades coverage for
+        // a precision gain that nothing can certify — so the tie-break is
+        // made explicit: the *largest* percentile in the grid (widest
+        // coverage) wins regardless of grid order, with the vacuous score
+        // of 0.0 reported. `tests/refine_cache_differential.rs` pins this
+        // against a deliberately unsorted grid.
+        let widest_k = if ds.valid.n() == 0 {
+            let mut k_best = 0;
+            for (k, &p) in p_grid.iter().enumerate() {
+                if p > p_grid[k_best] {
+                    k_best = k;
+                }
+            }
+            Some(k_best)
+        } else {
+            None
+        };
         let mut best: Option<TunedRefinement> = None;
         let eps = 1e-6;
-        for ((&p, train_matrix), fitted) in
-            p_grid.iter().zip(matrices).zip(fitted.into_iter().map(|f| f.expect("fitted")))
+        for (k, ((&p, train_matrix), fitted)) in p_grid
+            .iter()
+            .zip(matrices)
+            .zip(fitted.into_iter().map(|f| f.expect("fitted")))
+            .enumerate()
         {
-            let valid_matrix = self.refined_valid_matrix(p, ds.valid.n());
-            let posterior = fitted.predict(&valid_matrix);
-            let mut loglik = 0.0;
-            for (i, &gold) in ds.valid.labels.iter().enumerate() {
-                let p_pos = posterior.p_pos(i).clamp(eps, 1.0 - eps);
-                loglik += match gold {
-                    nemo_lf::Label::Pos => p_pos.ln(),
-                    nemo_lf::Label::Neg => (1.0 - p_pos).ln(),
-                };
-            }
-            let score = loglik / ds.valid.n().max(1) as f64;
-            let better = match &best {
-                None => true,
-                Some(b) => score >= b.valid_score,
+            let (score, better) = match widest_k {
+                Some(k_best) => (0.0, k == k_best),
+                None => {
+                    let posterior = fitted.predict(&valid_matrices[k]);
+                    let mut loglik = 0.0;
+                    for (i, &gold) in ds.valid.labels.iter().enumerate() {
+                        let p_pos = posterior.p_pos(i).clamp(eps, 1.0 - eps);
+                        loglik += match gold {
+                            nemo_lf::Label::Pos => p_pos.ln(),
+                            nemo_lf::Label::Neg => (1.0 - p_pos).ln(),
+                        };
+                    }
+                    let score = loglik / ds.valid.n() as f64;
+                    let better = match &best {
+                        None => true,
+                        Some(b) => score >= b.valid_score,
+                    };
+                    (score, better)
+                }
             };
             if better {
                 best = Some(TunedRefinement { p, train_matrix, fitted, valid_score: score });
@@ -492,6 +677,103 @@ mod tests {
                 assert_eq!(batched.radius(j, p), per_lf.radius(j, p), "radius j={j} p={p}");
             }
         }
+    }
+
+    #[test]
+    fn radius_defined_for_empty_train_split() {
+        // An LF whose training split is empty has no reference distances;
+        // the radius must be a *defined* +∞ (refinement = identity), not
+        // a panic inside `percentile_of_sorted` (the pre-fix behaviour).
+        let mut ctx = Contextualizer::new(ContextualizerConfig::default());
+        ctx.train_dists.push(Vec::new());
+        ctx.train_sorted.push(Vec::new());
+        ctx.valid_dists.push(vec![0.1, 0.7]);
+        ctx.raw_valid_cols.push(LfColumn::new(vec![(0, 1), (1, -1)]));
+        for &p in &[0.0, 50.0, 100.0] {
+            assert_eq!(ctx.radius(0, p), f64::INFINITY, "p={p}");
+        }
+        // With the identity radius, validation refinement keeps the raw
+        // column untouched and training refinement of the (necessarily
+        // empty) raw column stays empty.
+        assert_eq!(ctx.refine_valid(0, 50.0).entries(), ctx.raw_valid_cols[0].entries());
+        assert_eq!(ctx.refine_train(0, 50.0, &LfColumn::empty()).coverage(), 0);
+    }
+
+    #[test]
+    fn refined_grid_matrices_cache_is_bit_identical_to_rebuild() {
+        use crate::config::RefinementCaching;
+        let ds = toy_text(1);
+        let (_, matrix, lineage) = setup(&ds, 6, 21);
+        let mut incr = Contextualizer::new(ContextualizerConfig::default());
+        incr.sync(&lineage, &ds);
+        let mut rebuild = Contextualizer::new(ContextualizerConfig {
+            refinement: RefinementCaching::Rebuild,
+            ..Default::default()
+        });
+        rebuild.sync(&lineage, &ds);
+        // Two rounds: a cold fill and a fully warm round.
+        for round in 0..2 {
+            let (ti, vi) = incr.refined_grid_matrices(&matrix, ds.valid.n());
+            let (tr, vr) = rebuild.refined_grid_matrices(&matrix, ds.valid.n());
+            for (k, ((a, b), (c, d))) in ti.iter().zip(&tr).zip(vi.iter().zip(&vr)).enumerate() {
+                for j in 0..a.n_lfs() {
+                    assert_eq!(
+                        a.column(j).entries(),
+                        b.column(j).entries(),
+                        "train round {round} k={k} j={j}"
+                    );
+                    assert_eq!(
+                        c.column(j).entries(),
+                        d.column(j).entries(),
+                        "valid round {round} k={k} j={j}"
+                    );
+                }
+            }
+        }
+        let stats = incr.refine_cache_stats();
+        let slots = incr.config.p_grid.len() * 6;
+        assert_eq!(stats.refilters, slots, "cold round filters every slot exactly once");
+        assert_eq!(stats.hits, slots, "warm round must serve every slot from the cache");
+    }
+
+    #[test]
+    fn warm_round_refilters_only_new_lfs() {
+        let ds = toy_text(1);
+        let (_, matrix, lineage) = setup(&ds, 6, 22);
+        let grid = ContextualizerConfig::default().p_grid.len();
+        let mut ctx = Contextualizer::new(ContextualizerConfig::default());
+        // Register and refine the first 5 LFs, then grow the lineage by
+        // one: only the new LF's (grid) columns may be refiltered.
+        ctx.register_batch(&lineage.tracked()[..5], &ds);
+        let prefix = {
+            let mut m = LabelMatrix::new(matrix.n_examples());
+            for j in 0..5 {
+                m.push(matrix.column(j).clone());
+            }
+            m
+        };
+        ctx.refined_grid_matrices(&prefix, ds.valid.n());
+        let cold = ctx.refine_cache_stats();
+        assert_eq!(cold.refilters, grid * 5);
+        ctx.sync(&lineage, &ds);
+        ctx.refined_grid_matrices(&matrix, ds.valid.n());
+        let warm = ctx.refine_cache_stats();
+        assert_eq!(warm.refilters - cold.refilters, grid, "one refilter per grid point");
+        assert_eq!(warm.hits, grid * 5, "all previously cached columns reused");
+    }
+
+    #[test]
+    fn invalidate_refined_cache_refilters_dropped_slots() {
+        let ds = toy_text(1);
+        let (mut ctx, matrix, _) = setup(&ds, 4, 23);
+        let grid = ctx.config.p_grid.len();
+        ctx.refined_grid_matrices(&matrix, ds.valid.n());
+        ctx.invalidate_refined_cache_from(3);
+        let before = ctx.refine_cache_stats();
+        ctx.refined_grid_matrices(&matrix, ds.valid.n());
+        let after = ctx.refine_cache_stats();
+        assert_eq!(after.refilters - before.refilters, grid);
+        assert_eq!(after.hits - before.hits, grid * 3);
     }
 
     #[test]

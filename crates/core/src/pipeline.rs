@@ -123,6 +123,17 @@ impl LearningPipeline for StandardPipeline {
 }
 
 /// Nemo's contextualized learning pipeline (Figure 4, bottom path).
+///
+/// The pipeline owns the [`Contextualizer`] and therefore all of its
+/// cross-round caches: the per-LF distance tables, the EM warm-start
+/// seeds, and the refined-column cache behind
+/// [`crate::config::RefinementCaching::Incremental`]. A
+/// [`crate::session::Session`] drives `learn` every round with the
+/// *same* pipeline instance, so `Contextualizer::sync` registers only the
+/// round's new LFs and `tune_p` refilters only their columns — the rest
+/// of the per-grid-point refined matrices are served from the cache.
+/// Constructing a fresh pipeline per round forfeits exactly that reuse
+/// (results are identical either way; the caches never change outputs).
 pub struct ContextualizedPipeline {
     ctx: Contextualizer,
 }
@@ -133,9 +144,18 @@ impl ContextualizedPipeline {
         Self { ctx: Contextualizer::new(config) }
     }
 
-    /// Access the underlying contextualizer (diagnostics).
+    /// Access the underlying contextualizer (diagnostics — e.g.
+    /// [`Contextualizer::refine_cache_stats`] and
+    /// [`Contextualizer::tune_fits`]).
     pub fn contextualizer(&self) -> &Contextualizer {
         &self.ctx
+    }
+
+    /// Mutable access to the underlying contextualizer (checkpoint
+    /// restoration via [`Contextualizer::set_warm_seeds`] /
+    /// [`Contextualizer::invalidate_refined_cache_from`]).
+    pub fn contextualizer_mut(&mut self) -> &mut Contextualizer {
+        &mut self.ctx
     }
 }
 

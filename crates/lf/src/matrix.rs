@@ -9,11 +9,40 @@
 use crate::apply::PrimitiveCorpus;
 use crate::label::Vote;
 use crate::lf::PrimitiveLf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of process-unique [`LfColumn`] construction tokens.
+static NEXT_COLUMN_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_token() -> u64 {
+    NEXT_COLUMN_TOKEN.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One LF's non-abstain votes: sorted by example id, votes in `{−1, +1}`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Columns are **immutable once constructed** (there is no mutating API),
+/// so every construction stamps a process-unique `token` that acts as a
+/// cheap content-identity witness: two columns with equal tokens came
+/// from the same construction (clones share it) and therefore hold
+/// bitwise-equal entries. Equality is still defined on the entries —
+/// the token is only an `O(1)` fast path — which is what lets the
+/// contextualizer's refined-column cache revalidate a column against the
+/// raw column it was filtered from without rescanning either.
+#[derive(Debug, Clone, Eq)]
 pub struct LfColumn {
     entries: Vec<(u32, Vote)>,
+    token: u64,
+}
+
+impl PartialEq for LfColumn {
+    /// Content equality, with the construction-token shortcut: equal
+    /// tokens imply the same (immutable) construction, so the entry scan
+    /// is skipped. Distinct tokens fall back to comparing entries, so
+    /// independently built columns with the same votes still compare
+    /// equal — the semantics `tune_p`'s matrix dedup relies on.
+    fn eq(&self, other: &Self) -> bool {
+        self.token == other.token || self.entries == other.entries
+    }
 }
 
 impl LfColumn {
@@ -26,18 +55,21 @@ impl LfColumn {
         for &(_, v) in &entries {
             assert!(v == -1 || v == 1, "column vote must be ±1, got {v}");
         }
-        Self { entries }
+        Self { entries, token: fresh_token() }
     }
 
     /// An empty (all-abstain) column.
     pub fn empty() -> Self {
-        Self { entries: Vec::new() }
+        Self { entries: Vec::new(), token: fresh_token() }
     }
 
     /// Materialize a primitive LF's column over a corpus.
     pub fn from_lf(lf: &PrimitiveLf, corpus: &PrimitiveCorpus) -> Self {
         let sign = lf.y.sign();
-        Self { entries: lf.coverage(corpus).iter().map(|&i| (i, sign)).collect() }
+        Self {
+            entries: lf.coverage(corpus).iter().map(|&i| (i, sign)).collect(),
+            token: fresh_token(),
+        }
     }
 
     /// Sorted `(example, vote)` entries.
@@ -60,7 +92,18 @@ impl LfColumn {
 
     /// Keep only entries whose example id satisfies `keep`.
     pub fn filtered(&self, mut keep: impl FnMut(u32) -> bool) -> Self {
-        Self { entries: self.entries.iter().copied().filter(|&(i, _)| keep(i)).collect() }
+        Self {
+            entries: self.entries.iter().copied().filter(|&(i, _)| keep(i)).collect(),
+            token: fresh_token(),
+        }
+    }
+
+    /// Process-unique construction token. Equal tokens guarantee
+    /// bitwise-equal entries (clones share their source's token);
+    /// distinct tokens say nothing. Cross-round caches key on this to
+    /// detect "same raw column as last round" in `O(1)`.
+    pub fn token(&self) -> u64 {
+        self.token
     }
 }
 
@@ -249,6 +292,29 @@ mod tests {
         let col = LfColumn::new(vec![(0, 1), (5, 1), (9, 1)]);
         let f = col.filtered(|i| i != 5);
         assert_eq!(f.entries(), &[(0, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn tokens_unique_per_construction_shared_by_clones() {
+        let a = LfColumn::new(vec![(0, 1), (2, -1)]);
+        let b = LfColumn::new(vec![(0, 1), (2, -1)]);
+        assert_ne!(a.token(), b.token(), "constructions must get distinct tokens");
+        assert_eq!(a, b, "content equality must ignore tokens");
+        let c = a.clone();
+        assert_eq!(c.token(), a.token(), "clones share the construction token");
+        assert_eq!(c, a);
+        let f = a.filtered(|_| true);
+        assert_ne!(f.token(), a.token(), "filtering is a new construction");
+        assert_eq!(f, a, "identity filter preserves content equality");
+    }
+
+    #[test]
+    fn unequal_columns_compare_unequal() {
+        let a = LfColumn::new(vec![(0, 1), (2, -1)]);
+        let b = LfColumn::new(vec![(0, 1)]);
+        let c = LfColumn::new(vec![(0, 1), (2, 1)]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -58,9 +58,12 @@ impl DenseMatrix {
         &mut self.data[r * self.n_cols..(r + 1) * self.n_cols]
     }
 
-    /// Iterate rows in order.
+    /// Iterate rows in order. Always yields exactly [`DenseMatrix::n_rows`]
+    /// slices — including `n_rows` *empty* slices for a zero-column matrix
+    /// (the historical `chunks_exact(n_cols.max(1))` over the then-empty
+    /// buffer yielded none, disagreeing with `n_rows()`).
     pub fn rows(&self) -> impl Iterator<Item = &[f32]> {
-        self.data.chunks_exact(self.n_cols.max(1)).take(self.n_rows)
+        (0..self.n_rows).map(move |r| &self.data[r * self.n_cols..(r + 1) * self.n_cols])
     }
 
     /// Cached squared L2 norms of every row (same summation order as the
@@ -141,6 +144,24 @@ mod tests {
     #[should_panic(expected = "ragged rows")]
     fn from_rows_rejects_ragged() {
         DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn rows_agree_with_n_rows_for_zero_columns() {
+        // Regression: a zero-column matrix must still yield `n_rows`
+        // (empty) row slices, not zero rows.
+        let m = DenseMatrix::zeros(3, 0);
+        assert_eq!(m.n_rows(), 3);
+        let rows: Vec<&[f32]> = m.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.is_empty()));
+        // Degenerate the other way (0 × n) and fully empty both stay empty.
+        assert_eq!(DenseMatrix::zeros(0, 4).rows().count(), 0);
+        assert_eq!(DenseMatrix::zeros(0, 0).rows().count(), 0);
+        // Non-degenerate shape unchanged.
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let rows: Vec<&[f32]> = m.rows().collect();
+        assert_eq!(rows, vec![&[1.0f32, 2.0][..], &[3.0f32, 4.0][..]]);
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub fn binary_entropy(p: f64) -> f64 {
 ///
 /// This is the radius rule of the contextualizer: `r_j` is the `p`-th
 /// percentile of distances from the development point to every example.
+///
+/// **Panics on empty input** — a percentile of nothing has no defined
+/// value this toolbox could pick for every caller. Callers whose input
+/// may legitimately be empty must guard at their own boundary with a
+/// domain-appropriate definition (the contextualizer defines the radius
+/// of an LF registered against an empty training split as `+∞`; see
+/// `nemo_core::contextualizer::Contextualizer::radius`).
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile p out of range: {p}");
@@ -40,6 +47,9 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 
 /// `percentile` over an already-sorted slice (ascending). Use when the same
 /// distance vector is queried at several `p` values.
+///
+/// Panics on empty input, like [`percentile`] — guard possibly-empty
+/// inputs at the caller's boundary.
 pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile p out of range: {p}");

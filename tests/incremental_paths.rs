@@ -6,9 +6,14 @@
 //! percentile — under
 //!
 //! - [`SeuScoring::DirtySet`] (cached dirty-set scoring) vs
-//!   [`SeuScoring::Full`] (per-round full-pool rescore), and
+//!   [`SeuScoring::Full`] (per-round full-pool rescore),
 //! - [`WarmStart::Warm`] (EM chained across tune_p grid points) vs
-//!   [`WarmStart::Cold`] (every fit from scratch).
+//!   [`WarmStart::Cold`] (every fit from scratch), and
+//! - [`RefinementCaching::Incremental`] (cross-round refined-column
+//!   cache) vs [`RefinementCaching::Rebuild`] (refilter every grid
+//!   point's columns each round) — this pair is bit-identical by
+//!   construction; `tests/refine_cache_differential.rs` holds the
+//!   fine-grained properties.
 //!
 //! Scores are asserted close rather than bitwise equal: the dirty-set
 //! cache drifts by bounded rounding steps and warm EM reconverges within
@@ -22,7 +27,9 @@
 //! on the toy dataset. Everything here is deterministic: a divergence
 //! is a real regression, never flake.
 
-use nemo::core::config::{ContextualizerConfig, IdpConfig, LabelModelKind, SeuScoring, WarmStart};
+use nemo::core::config::{
+    ContextualizerConfig, IdpConfig, LabelModelKind, RefinementCaching, SeuScoring, WarmStart,
+};
 use nemo::core::oracle::SimulatedUser;
 use nemo::core::pipeline::ContextualizedPipeline;
 use nemo::core::session::Session;
@@ -38,7 +45,13 @@ struct Trace {
     valid_score: f64,
 }
 
-fn run(ds: &Dataset, scoring: SeuScoring, warm_start: WarmStart, seed: u64) -> Trace {
+fn run(
+    ds: &Dataset,
+    scoring: SeuScoring,
+    warm_start: WarmStart,
+    refinement: RefinementCaching,
+    seed: u64,
+) -> Trace {
     let config = IdpConfig {
         n_iterations: 12,
         eval_every: 4,
@@ -51,8 +64,11 @@ fn run(ds: &Dataset, scoring: SeuScoring, warm_start: WarmStart, seed: u64) -> T
     let mut session = Session::new(ds, config);
     let mut selector = SeuSelector::new().with_scoring(scoring);
     let mut user = SimulatedUser::default();
-    let mut pipeline =
-        ContextualizedPipeline::new(ContextualizerConfig { warm_start, ..Default::default() });
+    let mut pipeline = ContextualizedPipeline::new(ContextualizerConfig {
+        warm_start,
+        refinement,
+        ..Default::default()
+    });
     let mut selections = Vec::new();
     let mut chosen_ps = Vec::new();
     for _ in 0..12 {
@@ -93,9 +109,14 @@ fn assert_identical_decisions(a: &Trace, b: &Trace, what: &str, seed: u64) {
 fn full_session_identical_dirty_set_vs_full_rescore() {
     let ds = toy_text(1);
     for seed in [1u64, 7] {
-        let reference = run(&ds, SeuScoring::Full, WarmStart::Cold, seed);
-        let dirty = run(&ds, SeuScoring::DirtySet, WarmStart::Cold, seed);
+        let reference =
+            run(&ds, SeuScoring::Full, WarmStart::Cold, RefinementCaching::Rebuild, seed);
+        let dirty =
+            run(&ds, SeuScoring::DirtySet, WarmStart::Cold, RefinementCaching::Rebuild, seed);
         assert_identical_decisions(&dirty, &reference, "dirty-set vs full", seed);
+        let cached =
+            run(&ds, SeuScoring::Full, WarmStart::Cold, RefinementCaching::Incremental, seed);
+        assert_identical_decisions(&cached, &reference, "refine-cache vs rebuild", seed);
     }
 }
 
@@ -103,21 +124,28 @@ fn full_session_identical_dirty_set_vs_full_rescore() {
 fn full_session_identical_warm_vs_cold_and_combined() {
     let ds = build(DatasetName::Amazon, Profile::Quick, 3);
     for seed in [7u64, 13] {
-        let reference = run(&ds, SeuScoring::Full, WarmStart::Cold, seed);
-        for (scoring, warm_start, what) in [
-            (SeuScoring::Full, WarmStart::Warm, "warm vs cold"),
-            (SeuScoring::DirtySet, WarmStart::Warm, "both production switches"),
+        let reference =
+            run(&ds, SeuScoring::Full, WarmStart::Cold, RefinementCaching::Rebuild, seed);
+        for (scoring, warm_start, refinement, what) in [
+            (SeuScoring::Full, WarmStart::Warm, RefinementCaching::Rebuild, "warm vs cold"),
+            (
+                SeuScoring::DirtySet,
+                WarmStart::Warm,
+                RefinementCaching::Incremental,
+                "all production switches",
+            ),
         ] {
-            let trace = run(&ds, scoring, warm_start, seed);
+            let trace = run(&ds, scoring, warm_start, refinement, seed);
             assert_identical_decisions(&trace, &reference, what, seed);
         }
     }
 }
 
-/// The production defaults are exactly the two switches this test
-/// toggles — make sure the default-constructed components run them.
+/// The production defaults are exactly the switches this test toggles —
+/// make sure the default-constructed components run them.
 #[test]
 fn production_defaults_are_the_incremental_paths() {
     assert_eq!(SeuSelector::new().scoring, SeuScoring::DirtySet);
     assert_eq!(ContextualizerConfig::default().warm_start, WarmStart::Warm);
+    assert_eq!(ContextualizerConfig::default().refinement, RefinementCaching::Incremental);
 }
