@@ -177,6 +177,42 @@ impl RefinementCaching {
     }
 }
 
+/// How `tune_p` scores the per-grid-point refined matrices on the
+/// validation split.
+///
+/// Two grid points whose train-side dedup proved the fits identical
+/// (same `repr`, hence bitwise-equal fitted parameters) and whose
+/// refined *validation* matrices are content-equal (radii quantizing to
+/// the same filtered columns — column equality short-circuits through
+/// [`nemo_lf::LfColumn::token`]) necessarily produce bitwise-identical
+/// posteriors and log-likelihood scores. The class path runs **one**
+/// label-model posterior predict + score per such equivalence class and
+/// reuses the representative's score for every member, so the tuned
+/// percentile and validation score are bit-identical to scoring every
+/// grid point — the per-point path is retained as the reference for
+/// differential tests (`tests/matrix_cow_differential.rs`) and the
+/// `tune_p_dedup` regression guard in `kernel_microbench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PosteriorDedup {
+    /// One posterior predict + score per `(fit, validation matrix)`
+    /// equivalence class — the production path.
+    #[default]
+    Class,
+    /// Predict and score every grid point independently (the
+    /// pre-dedup reference path).
+    PerPoint,
+}
+
+impl PosteriorDedup {
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PosteriorDedup::Class => "class",
+            PosteriorDedup::PerPoint => "per-point",
+        }
+    }
+}
+
 /// Contextualizer settings (paper Sec. 4.3).
 #[derive(Debug, Clone)]
 pub struct ContextualizerConfig {
@@ -193,6 +229,9 @@ pub struct ContextualizerConfig {
     /// Whether `tune_p` serves per-grid-point refined columns from the
     /// cross-round cache or refilters everything each round.
     pub refinement: RefinementCaching,
+    /// Whether `tune_p` runs one validation predict per score
+    /// equivalence class or one per grid point.
+    pub posterior_dedup: PosteriorDedup,
 }
 
 impl Default for ContextualizerConfig {
@@ -203,6 +242,7 @@ impl Default for ContextualizerConfig {
             backend: DistanceBackend::default(),
             warm_start: WarmStart::default(),
             refinement: RefinementCaching::default(),
+            posterior_dedup: PosteriorDedup::default(),
         }
     }
 }
@@ -289,6 +329,8 @@ mod tests {
         assert_eq!(WarmStart::Cold.name(), "cold");
         assert_eq!(RefinementCaching::Incremental.name(), "incremental");
         assert_eq!(RefinementCaching::Rebuild.name(), "rebuild");
+        assert_eq!(PosteriorDedup::Class.name(), "class");
+        assert_eq!(PosteriorDedup::PerPoint.name(), "per-point");
     }
 
     #[test]
@@ -298,6 +340,8 @@ mod tests {
         assert_eq!(ContextualizerConfig::default().warm_start, WarmStart::Warm);
         assert_eq!(RefinementCaching::default(), RefinementCaching::Incremental);
         assert_eq!(ContextualizerConfig::default().refinement, RefinementCaching::Incremental);
+        assert_eq!(PosteriorDedup::default(), PosteriorDedup::Class);
+        assert_eq!(ContextualizerConfig::default().posterior_dedup, PosteriorDedup::Class);
     }
 
     #[test]

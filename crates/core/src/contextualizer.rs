@@ -21,12 +21,15 @@
 //! [`crate::config::DistanceBackend::Naive`] for differential testing;
 //! both backends are bit-identical.
 
-use crate::config::{ContextualizerConfig, DistanceBackend, RefinementCaching, WarmStart};
+use crate::config::{
+    ContextualizerConfig, DistanceBackend, PosteriorDedup, RefinementCaching, WarmStart,
+};
 use nemo_data::Dataset;
 use nemo_labelmodel::{FittedLabelModel, LabelModel};
 use nemo_lf::{LabelMatrix, LfColumn, Lineage, PrimitiveLf, TrackedLf};
 use nemo_sparse::parallel::par_map_min;
 use nemo_sparse::stats::percentile_of_sorted;
+use std::sync::Arc;
 
 /// Result of percentile tuning: the chosen `p`, the refined training
 /// matrix at that `p`, and the label model fitted to it.
@@ -47,7 +50,10 @@ pub struct TunedRefinement {
 /// under — the radius (bitwise) and the raw train column's construction
 /// token. Lineage is append-only, so for an existing LF neither component
 /// moves between rounds and the slot stays valid until the caller changes
-/// the grid or swaps the raw matrix.
+/// the grid or swaps the raw matrix. Columns are held as shared
+/// [`Arc<LfColumn>`] handles: serving a slot into a grid matrix is an
+/// `Arc` clone ([`LabelMatrix::push_shared`]) — a refcount bump, never a
+/// vote memcpy.
 struct RefinedEntry {
     /// `radius(j, p).to_bits()` at filter time.
     radius_bits: u64,
@@ -55,8 +61,8 @@ struct RefinedEntry {
     /// filtered from (the valid column's raw source is owned by the
     /// contextualizer and immutable, so it needs no key).
     raw_token: u64,
-    train: LfColumn,
-    valid: LfColumn,
+    train: Arc<LfColumn>,
+    valid: Arc<LfColumn>,
 }
 
 /// Cumulative refined-column cache counters (bench accounting).
@@ -68,6 +74,12 @@ pub struct RefineCacheStats {
     /// raw-column changes — and every slot under
     /// [`RefinementCaching::Rebuild`]).
     pub refilters: usize,
+    /// Columns handed to grid matrices as shared `Arc` clones (train and
+    /// valid counted separately). On the incremental path **every**
+    /// served column is shared — a warm round's matrix assembly performs
+    /// zero per-column vote memcpys, which the CoW differential tests
+    /// pin via `Arc::ptr_eq` across rounds.
+    pub shared_serves: usize,
 }
 
 /// The contextualizer with per-LF distance caches.
@@ -86,6 +98,11 @@ pub struct Contextualizer {
     /// Label-model fit iterations spent by `tune_p` so far (bench
     /// accounting; only iterative estimators report non-trivial counts).
     tune_fits: usize,
+    /// Validation posterior predicts run by [`Contextualizer::tune_p`] so
+    /// far — one per score equivalence class under
+    /// [`PosteriorDedup::Class`], one per grid point under
+    /// [`PosteriorDedup::PerPoint`] (bench accounting).
+    tune_predicts: usize,
     /// Cross-round refined-column cache, `[grid slot][lf]`, lazily grown
     /// and revalidated per slot (see [`RefinementCaching`]).
     refined_cache: Vec<Vec<Option<RefinedEntry>>>,
@@ -103,6 +120,7 @@ impl Contextualizer {
             raw_valid_cols: Vec::new(),
             warm_accs: Vec::new(),
             tune_fits: 0,
+            tune_predicts: 0,
             refined_cache: Vec::new(),
             cache_stats: RefineCacheStats::default(),
         }
@@ -111,6 +129,16 @@ impl Contextualizer {
     /// Label-model fits performed by [`Contextualizer::tune_p`] so far.
     pub fn tune_fits(&self) -> usize {
         self.tune_fits
+    }
+
+    /// Validation posterior predicts performed by
+    /// [`Contextualizer::tune_p`] so far. Under
+    /// [`PosteriorDedup::Class`] grid points whose fits and refined
+    /// validation matrices coincide share one predict, so this lags
+    /// `rounds × p_grid.len()`; under [`PosteriorDedup::PerPoint`] it
+    /// equals it (empty-validation rounds predict nothing either way).
+    pub fn tune_predicts(&self) -> usize {
+        self.tune_predicts
     }
 
     /// Cumulative refined-column cache hit/refilter counters (only the
@@ -267,9 +295,12 @@ impl Contextualizer {
     /// existing LF's distance table is frozen at registration, a warm
     /// round refilters only the newly registered LFs' columns: `O(grid)`
     /// filters instead of the rebuild path's `O(grid · lfs)`. Served
-    /// columns are clones of the cached filter output, so both paths are
-    /// bit-identical — the `refine_cache` differential suite and bench
-    /// guard pin this.
+    /// columns are **shared handles** of the cached filter output
+    /// (`Arc` clones via [`LabelMatrix::push_shared`] — `O(1)` per
+    /// column, no vote memcpy), so both paths are bit-identical — the
+    /// `refine_cache` differential suite and bench guard pin this, and
+    /// the CoW suite additionally pins pointer identity across warm
+    /// rounds.
     ///
     /// Under [`RefinementCaching::Rebuild`] every column is refiltered
     /// through [`Contextualizer::refined_train_matrix`] /
@@ -324,14 +355,18 @@ impl Contextualizer {
                     slot[j] = Some(RefinedEntry {
                         radius_bits: r.to_bits(),
                         raw_token: raw.token(),
-                        train,
-                        valid,
+                        train: Arc::new(train),
+                        valid: Arc::new(valid),
                     });
                     self.cache_stats.refilters += 1;
                 }
+                // Serve by handle: a refcount bump per column, never a
+                // vote memcpy — warm rounds assemble every grid matrix
+                // in O(1) per column.
                 let entry = slot[j].as_ref().expect("slot populated above");
-                train_m.push(entry.train.clone());
-                valid_m.push(entry.valid.clone());
+                train_m.push_shared(Arc::clone(&entry.train));
+                valid_m.push_shared(Arc::clone(&entry.valid));
+                self.cache_stats.shared_serves += 2;
             }
             train_out.push(train_m);
             valid_out.push(valid_m);
@@ -376,6 +411,15 @@ impl Contextualizer {
     /// cold-restart reference, bit-compatible with the pre-incremental
     /// behaviour.
     ///
+    /// Scoring is deduplicated the same way fitting is: grid points
+    /// whose fits resolved identical *and* whose refined validation
+    /// matrices are content-equal form a **score equivalence class**,
+    /// and under [`PosteriorDedup::Class`] (the default) only one
+    /// posterior predict + log-likelihood runs per class — bitwise the
+    /// score every member would have computed
+    /// ([`nemo_labelmodel::FittedLabelModel::score_log_likelihood`]).
+    /// [`PosteriorDedup::PerPoint`] keeps the per-grid-point reference.
+    ///
     /// On well-conditioned matrices warm and cold fits converge to the
     /// same fixed point within the EM tolerance, and the differential
     /// suites pin parameter agreement plus end-to-end selection
@@ -395,6 +439,7 @@ impl Contextualizer {
     ) -> TunedRefinement {
         assert!(!self.config.p_grid.is_empty(), "empty percentile grid");
         let warm = self.config.warm_start == WarmStart::Warm;
+        let dedup_scores = self.config.posterior_dedup == PosteriorDedup::Class;
         let p_grid = self.config.p_grid.clone();
 
         // Refined matrix per grid point — served from the cross-round
@@ -410,7 +455,7 @@ impl Contextualizer {
         // is bitwise idempotent. Column equality short-circuits through
         // construction tokens but remains content equality, so cached and
         // rebuilt matrices resolve `repr`/`unique` identically.)
-        let (matrices, valid_matrices) = self.refined_grid_matrices(raw_train, ds.valid.n());
+        let (mut matrices, valid_matrices) = self.refined_grid_matrices(raw_train, ds.valid.n());
         let repr: Vec<usize> = (0..matrices.len())
             .map(|k| (0..k).find(|&j| matrices[j] == matrices[k]).unwrap_or(k))
             .collect();
@@ -447,8 +492,31 @@ impl Contextualizer {
             }
         }
 
-        // Score every grid point on validation and keep the best.
-        //
+        // Score equivalence classes: grid points with the same train-side
+        // representative carry bitwise-equal fitted parameters (the
+        // non-representatives' fits are *rebuilt from* the
+        // representative's accuracies above), so whenever their refined
+        // validation matrices are also content-equal, a posterior predict
+        // at either point runs the identical float program — the class
+        // representative's score IS every member's score, bit for bit.
+        // Under [`PosteriorDedup::Class`] each grid point therefore maps
+        // to the first earlier point with the same fit and an equal
+        // validation matrix (column equality short-circuits through
+        // construction tokens), and only class representatives predict;
+        // [`PosteriorDedup::PerPoint`] keeps the one-predict-per-point
+        // reference behaviour. `tests/matrix_cow_differential.rs` pins
+        // bitwise score and selection agreement between the two.
+        let score_repr: Vec<usize> = (0..p_grid.len())
+            .map(|k| {
+                if !dedup_scores {
+                    return k;
+                }
+                (0..k)
+                    .find(|&j| repr[j] == repr[k] && valid_matrices[j] == valid_matrices[k])
+                    .unwrap_or(k)
+            })
+            .collect();
+
         // Degenerate case: with an **empty validation split** every grid
         // point's mean log-likelihood is vacuously zero, and the `>=`
         // scan would silently select whatever percentile happens to sit
@@ -458,7 +526,8 @@ impl Contextualizer {
         // made explicit: the *largest* percentile in the grid (widest
         // coverage) wins regardless of grid order, with the vacuous score
         // of 0.0 reported. `tests/refine_cache_differential.rs` pins this
-        // against a deliberately unsorted grid.
+        // against a deliberately unsorted grid. No posterior is predicted
+        // on an empty split under either dedup mode.
         let widest_k = if ds.valid.n() == 0 {
             let mut k_best = 0;
             for (k, &p) in p_grid.iter().enumerate() {
@@ -470,42 +539,45 @@ impl Contextualizer {
         } else {
             None
         };
-        let mut best: Option<TunedRefinement> = None;
-        let eps = 1e-6;
-        for (k, ((&p, train_matrix), fitted)) in p_grid
-            .iter()
-            .zip(matrices)
-            .zip(fitted.into_iter().map(|f| f.expect("fitted")))
-            .enumerate()
-        {
-            let (score, better) = match widest_k {
-                Some(k_best) => (0.0, k == k_best),
-                None => {
-                    let posterior = fitted.predict(&valid_matrices[k]);
-                    let mut loglik = 0.0;
-                    for (i, &gold) in ds.valid.labels.iter().enumerate() {
-                        let p_pos = posterior.p_pos(i).clamp(eps, 1.0 - eps);
-                        loglik += match gold {
-                            nemo_lf::Label::Pos => p_pos.ln(),
-                            nemo_lf::Label::Neg => (1.0 - p_pos).ln(),
-                        };
-                    }
-                    let score = loglik / ds.valid.n() as f64;
-                    let better = match &best {
-                        None => true,
-                        Some(b) => score >= b.valid_score,
-                    };
-                    (score, better)
+
+        // Score once per class representative, then select with the same
+        // `>=` scan as ever: among genuine ties the largest grid index
+        // (and with a sorted grid, the widest coverage) wins.
+        let mut scores = vec![0.0f64; p_grid.len()];
+        if widest_k.is_none() {
+            for k in 0..p_grid.len() {
+                if score_repr[k] == k {
+                    let fit = fitted[k].as_ref().expect("fitted");
+                    self.tune_predicts += 1;
+                    scores[k] = fit.score_log_likelihood(&valid_matrices[k], &ds.valid.labels);
+                } else {
+                    scores[k] = scores[score_repr[k]];
                 }
-            };
-            if better {
-                best = Some(TunedRefinement { p, train_matrix, fitted, valid_score: score });
             }
         }
+        let best_k = match widest_k {
+            Some(k_best) => k_best,
+            None => {
+                let mut k_best = 0;
+                let mut best_score = f64::NEG_INFINITY;
+                for (k, &s) in scores.iter().enumerate() {
+                    if s >= best_score {
+                        best_score = s;
+                        k_best = k;
+                    }
+                }
+                k_best
+            }
+        };
         if warm {
             self.warm_accs = accs_by_k;
         }
-        best.expect("grid is non-empty")
+        TunedRefinement {
+            p: p_grid[best_k],
+            train_matrix: matrices.swap_remove(best_k),
+            fitted: fitted[best_k].take().expect("fitted"),
+            valid_score: scores[best_k],
+        }
     }
 }
 
@@ -760,6 +832,82 @@ mod tests {
         let warm = ctx.refine_cache_stats();
         assert_eq!(warm.refilters - cold.refilters, grid, "one refilter per grid point");
         assert_eq!(warm.hits, grid * 5, "all previously cached columns reused");
+    }
+
+    #[test]
+    fn warm_round_grid_assembly_is_zero_copy() {
+        // After the cold fill, a warm round must (a) refilter nothing,
+        // (b) serve every column as a shared handle, and (c) hand out the
+        // *same* vote buffers as the previous round — pointer identity is
+        // the proof that assembly performed zero per-column memcpys.
+        let ds = toy_text(1);
+        let (mut ctx, matrix, _) = setup(&ds, 6, 31);
+        let slots = ctx.config.p_grid.len() * 6;
+        let (t1, v1) = ctx.refined_grid_matrices(&matrix, ds.valid.n());
+        let cold = ctx.refine_cache_stats();
+        assert_eq!(cold.refilters, slots);
+        assert_eq!(cold.shared_serves, 2 * slots, "every serve is a shared handle");
+        let (t2, v2) = ctx.refined_grid_matrices(&matrix, ds.valid.n());
+        let warm = ctx.refine_cache_stats();
+        assert_eq!(warm.refilters, cold.refilters, "warm round must not rebuild any column");
+        assert_eq!(warm.shared_serves - cold.shared_serves, 2 * slots);
+        for k in 0..t1.len() {
+            assert_eq!(t1[k].shared_columns_with(&t2[k]), 6, "train k={k} must be pointer-shared");
+            assert_eq!(v1[k].shared_columns_with(&v2[k]), 6, "valid k={k} must be pointer-shared");
+            for j in 0..6 {
+                assert!(
+                    std::sync::Arc::ptr_eq(t1[k].shared_column(j), t2[k].shared_column(j)),
+                    "train k={k} j={j} was deep-copied"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_and_per_point_scoring_agree_bitwise() {
+        let ds = toy_text(1);
+        let (mut class_ctx, matrix, lineage) = setup(&ds, 8, 32);
+        let mut pp_ctx = Contextualizer::new(ContextualizerConfig {
+            posterior_dedup: crate::config::PosteriorDedup::PerPoint,
+            ..Default::default()
+        });
+        pp_ctx.sync(&lineage, &ds);
+        let model = GenerativeModel::default();
+        for round in 0..3 {
+            let a = class_ctx.tune_p(&matrix, &ds, &model, ds.prior());
+            let b = pp_ctx.tune_p(&matrix, &ds, &model, ds.prior());
+            assert_eq!(a.p, b.p, "round {round}: tuned percentile diverged");
+            assert_eq!(
+                a.valid_score.to_bits(),
+                b.valid_score.to_bits(),
+                "round {round}: score not bitwise identical"
+            );
+            assert_eq!(a.train_matrix, b.train_matrix, "round {round}: tuned matrix diverged");
+        }
+        let grid = class_ctx.config.p_grid.len();
+        assert_eq!(pp_ctx.tune_predicts(), 3 * grid, "per-point predicts every grid point");
+        assert!(
+            class_ctx.tune_predicts() <= pp_ctx.tune_predicts(),
+            "class dedup must never predict more often"
+        );
+    }
+
+    #[test]
+    fn duplicate_grid_points_share_one_predict() {
+        // Duplicated percentiles refine to identical train AND valid
+        // matrices, so they must collapse into one fit and one posterior
+        // predict per round under the class path.
+        let ds = toy_text(1);
+        let (_, matrix, lineage) = setup(&ds, 5, 33);
+        let mut ctx = Contextualizer::new(ContextualizerConfig {
+            p_grid: vec![50.0, 50.0, 100.0, 100.0],
+            ..Default::default()
+        });
+        ctx.sync(&lineage, &ds);
+        let tuned = ctx.tune_p(&matrix, &ds, &GenerativeModel::default(), ds.prior());
+        assert_eq!(ctx.tune_fits(), 2, "duplicate grid points must share fits");
+        assert_eq!(ctx.tune_predicts(), 2, "duplicate grid points must share predicts");
+        assert!(ctx.config.p_grid.contains(&tuned.p));
     }
 
     #[test]

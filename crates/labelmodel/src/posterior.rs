@@ -72,6 +72,30 @@ impl Posterior {
         }
         self.p_pos.iter().map(|&p| binary_entropy(p)).sum::<f64>() / self.p_pos.len() as f64
     }
+
+    /// Mean log-likelihood of gold `labels` under these posteriors — the
+    /// proper scoring rule `tune_p` selects the refinement percentile
+    /// with. Probabilities are clamped to `[ε, 1−ε]` (ε = 1e-6) so a
+    /// confidently wrong posterior scores a large finite penalty instead
+    /// of `−∞`. The sum runs in label order and divides once, so two
+    /// calls over content-equal inputs are **bitwise** identical — the
+    /// property the equivalence-class score dedup relies on. An empty
+    /// label slice scores a vacuous `0.0` (no evidence either way).
+    pub fn mean_log_likelihood(&self, labels: &[Label]) -> f64 {
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let eps = 1e-6;
+        let mut loglik = 0.0;
+        for (i, &gold) in labels.iter().enumerate() {
+            let p_pos = self.p_pos[i].clamp(eps, 1.0 - eps);
+            loglik += match gold {
+                Label::Pos => p_pos.ln(),
+                Label::Neg => (1.0 - p_pos).ln(),
+            };
+        }
+        loglik / labels.len() as f64
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +139,32 @@ mod tests {
         assert_eq!(p.len(), 3);
         assert!((p.p_pos(2) - 0.3).abs() < 1e-12);
         assert!(p.mean_entropy() > 0.0);
+    }
+
+    #[test]
+    fn mean_log_likelihood_matches_manual_sum() {
+        let p = Posterior::new(vec![0.9, 0.2, 0.5]);
+        let labels = [Label::Pos, Label::Neg, Label::Pos];
+        let expect = (0.9f64.ln() + 0.8f64.ln() + 0.5f64.ln()) / 3.0;
+        assert!((p.mean_log_likelihood(&labels) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_log_likelihood_clamps_and_handles_empty() {
+        // A posterior of exactly 0/1 on the wrong label must stay finite.
+        let p = Posterior::new(vec![0.0, 1.0]);
+        let s = p.mean_log_likelihood(&[Label::Pos, Label::Neg]);
+        assert!(s.is_finite() && s < -10.0, "confidently wrong scores a large penalty: {s}");
+        let empty = Posterior::new(vec![]);
+        assert_eq!(empty.mean_log_likelihood(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_log_likelihood_is_deterministic_bitwise() {
+        let p = Posterior::new(vec![0.31, 0.72, 0.99999999, 0.1]);
+        let labels = [Label::Pos, Label::Neg, Label::Pos, Label::Neg];
+        let a = p.mean_log_likelihood(&labels);
+        let b = Posterior::new(vec![0.31, 0.72, 0.99999999, 0.1]).mean_log_likelihood(&labels);
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -13,7 +13,12 @@
 //!   cache) vs [`RefinementCaching::Rebuild`] (refilter every grid
 //!   point's columns each round) — this pair is bit-identical by
 //!   construction; `tests/refine_cache_differential.rs` holds the
-//!   fine-grained properties.
+//!   fine-grained properties, and
+//! - [`PosteriorDedup::Class`] (one validation predict per score
+//!   equivalence class) vs [`PosteriorDedup::PerPoint`] (one per grid
+//!   point) — also bit-identical by construction;
+//!   `tests/matrix_cow_differential.rs` holds the fine-grained
+//!   properties.
 //!
 //! Scores are asserted close rather than bitwise equal: the dirty-set
 //! cache drifts by bounded rounding steps and warm EM reconverges within
@@ -28,7 +33,8 @@
 //! is a real regression, never flake.
 
 use nemo::core::config::{
-    ContextualizerConfig, IdpConfig, LabelModelKind, RefinementCaching, SeuScoring, WarmStart,
+    ContextualizerConfig, IdpConfig, LabelModelKind, PosteriorDedup, RefinementCaching, SeuScoring,
+    WarmStart,
 };
 use nemo::core::oracle::SimulatedUser;
 use nemo::core::pipeline::ContextualizedPipeline;
@@ -50,6 +56,7 @@ fn run(
     scoring: SeuScoring,
     warm_start: WarmStart,
     refinement: RefinementCaching,
+    posterior_dedup: PosteriorDedup,
     seed: u64,
 ) -> Trace {
     let config = IdpConfig {
@@ -67,6 +74,7 @@ fn run(
     let mut pipeline = ContextualizedPipeline::new(ContextualizerConfig {
         warm_start,
         refinement,
+        posterior_dedup,
         ..Default::default()
     });
     let mut selections = Vec::new();
@@ -109,14 +117,37 @@ fn assert_identical_decisions(a: &Trace, b: &Trace, what: &str, seed: u64) {
 fn full_session_identical_dirty_set_vs_full_rescore() {
     let ds = toy_text(1);
     for seed in [1u64, 7] {
-        let reference =
-            run(&ds, SeuScoring::Full, WarmStart::Cold, RefinementCaching::Rebuild, seed);
-        let dirty =
-            run(&ds, SeuScoring::DirtySet, WarmStart::Cold, RefinementCaching::Rebuild, seed);
-        assert_identical_decisions(&dirty, &reference, "dirty-set vs full", seed);
-        let cached =
-            run(&ds, SeuScoring::Full, WarmStart::Cold, RefinementCaching::Incremental, seed);
-        assert_identical_decisions(&cached, &reference, "refine-cache vs rebuild", seed);
+        let reference = run(
+            &ds,
+            SeuScoring::Full,
+            WarmStart::Cold,
+            RefinementCaching::Rebuild,
+            PosteriorDedup::PerPoint,
+            seed,
+        );
+        for (scoring, refinement, posterior_dedup, what) in [
+            (
+                SeuScoring::DirtySet,
+                RefinementCaching::Rebuild,
+                PosteriorDedup::PerPoint,
+                "dirty-set vs full",
+            ),
+            (
+                SeuScoring::Full,
+                RefinementCaching::Incremental,
+                PosteriorDedup::PerPoint,
+                "refine-cache vs rebuild",
+            ),
+            (
+                SeuScoring::Full,
+                RefinementCaching::Rebuild,
+                PosteriorDedup::Class,
+                "posterior dedup vs per-point",
+            ),
+        ] {
+            let trace = run(&ds, scoring, WarmStart::Cold, refinement, posterior_dedup, seed);
+            assert_identical_decisions(&trace, &reference, what, seed);
+        }
     }
 }
 
@@ -124,18 +155,31 @@ fn full_session_identical_dirty_set_vs_full_rescore() {
 fn full_session_identical_warm_vs_cold_and_combined() {
     let ds = build(DatasetName::Amazon, Profile::Quick, 3);
     for seed in [7u64, 13] {
-        let reference =
-            run(&ds, SeuScoring::Full, WarmStart::Cold, RefinementCaching::Rebuild, seed);
-        for (scoring, warm_start, refinement, what) in [
-            (SeuScoring::Full, WarmStart::Warm, RefinementCaching::Rebuild, "warm vs cold"),
+        let reference = run(
+            &ds,
+            SeuScoring::Full,
+            WarmStart::Cold,
+            RefinementCaching::Rebuild,
+            PosteriorDedup::PerPoint,
+            seed,
+        );
+        for (scoring, warm_start, refinement, posterior_dedup, what) in [
+            (
+                SeuScoring::Full,
+                WarmStart::Warm,
+                RefinementCaching::Rebuild,
+                PosteriorDedup::PerPoint,
+                "warm vs cold",
+            ),
             (
                 SeuScoring::DirtySet,
                 WarmStart::Warm,
                 RefinementCaching::Incremental,
+                PosteriorDedup::Class,
                 "all production switches",
             ),
         ] {
-            let trace = run(&ds, scoring, warm_start, refinement, seed);
+            let trace = run(&ds, scoring, warm_start, refinement, posterior_dedup, seed);
             assert_identical_decisions(&trace, &reference, what, seed);
         }
     }
@@ -148,4 +192,5 @@ fn production_defaults_are_the_incremental_paths() {
     assert_eq!(SeuSelector::new().scoring, SeuScoring::DirtySet);
     assert_eq!(ContextualizerConfig::default().warm_start, WarmStart::Warm);
     assert_eq!(ContextualizerConfig::default().refinement, RefinementCaching::Incremental);
+    assert_eq!(ContextualizerConfig::default().posterior_dedup, PosteriorDedup::Class);
 }
