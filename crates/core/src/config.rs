@@ -2,7 +2,7 @@
 
 use nemo_endmodel::LogRegConfig;
 use nemo_labelmodel::{GenerativeModel, LabelModel, MajorityVote, TripletModel};
-use nemo_sparse::Distance;
+use nemo_sparse::{DenseBackend, Distance};
 
 /// Which label model aggregates the weak votes (the paper adopts MeTaL;
 /// alternatives are provided for ablation).
@@ -223,6 +223,14 @@ pub struct ContextualizerConfig {
     pub p_grid: Vec<f64>,
     /// Distance engine used to build the per-LF distance caches.
     pub backend: DistanceBackend,
+    /// Dense reduction kernel for dense-backed feature splits
+    /// ([`nemo_sparse::DenseBackend`]): the blocked multi-accumulator
+    /// kernel (production default, deterministic, ≤ ~1e-9 relative from
+    /// the reference) or the scalar reference leg. Sparse-backed splits
+    /// ignore this switch, and [`DistanceBackend::Naive`] always uses the
+    /// scalar kernels so the reference path stays a single anchored
+    /// implementation.
+    pub dense_backend: DenseBackend,
     /// Whether percentile tuning warm-starts iterative label-model fits
     /// across grid points and rounds.
     pub warm_start: WarmStart,
@@ -240,6 +248,7 @@ impl Default for ContextualizerConfig {
             distance: Distance::Cosine,
             p_grid: vec![25.0, 50.0, 75.0, 100.0],
             backend: DistanceBackend::default(),
+            dense_backend: DenseBackend::default(),
             warm_start: WarmStart::default(),
             refinement: RefinementCaching::default(),
             posterior_dedup: PosteriorDedup::default(),
@@ -319,6 +328,8 @@ mod tests {
     fn backend_names_stable() {
         assert_eq!(DistanceBackend::Indexed.name(), "indexed");
         assert_eq!(DistanceBackend::Naive.name(), "naive");
+        assert_eq!(DenseBackend::Blocked.name(), "blocked");
+        assert_eq!(DenseBackend::Scalar.name(), "scalar");
     }
 
     #[test]
@@ -342,6 +353,8 @@ mod tests {
         assert_eq!(ContextualizerConfig::default().refinement, RefinementCaching::Incremental);
         assert_eq!(PosteriorDedup::default(), PosteriorDedup::Class);
         assert_eq!(ContextualizerConfig::default().posterior_dedup, PosteriorDedup::Class);
+        assert_eq!(DenseBackend::default(), DenseBackend::Blocked);
+        assert_eq!(ContextualizerConfig::default().dense_backend, DenseBackend::Blocked);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use nemo_labelmodel::{FittedLabelModel, LabelModel};
 use nemo_lf::{LabelMatrix, LfColumn, Lineage, PrimitiveLf, TrackedLf};
 use nemo_sparse::parallel::par_map_min;
 use nemo_sparse::stats::percentile_of_sorted;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Result of percentile tuning: the chosen `p`, the refined training
@@ -70,10 +71,16 @@ struct RefinedEntry {
 pub struct RefineCacheStats {
     /// `(grid point, LF)` slots served from the cache.
     pub hits: usize,
-    /// Slots filtered from the raw column (cold slots, radius changes,
+    /// Slots whose own-slot key missed (cold slots, radius changes,
     /// raw-column changes — and every slot under
     /// [`RefinementCaching::Rebuild`]).
     pub refilters: usize,
+    /// Of the `refilters`, slots recovered by sharing an *earlier grid
+    /// slot's* cached columns (same LF, same radius bits, same raw token)
+    /// instead of re-running the filter — duplicate grid percentiles and
+    /// adjacent percentiles quantizing to the same radius cost a refcount
+    /// bump, and equal columns across slots come out pointer-equal.
+    pub cross_slot_reuses: usize,
     /// Columns handed to grid matrices as shared `Arc` clones (train and
     /// valid counted separately). On the incremental path **every**
     /// served column is shared — a warm round's matrix assembly performs
@@ -198,9 +205,18 @@ impl Contextualizer {
         let dist = self.config.distance;
         let pivots: Vec<usize> = recs.iter().map(|r| r.dev_example as usize).collect();
         let (train_ds, valid_ds) = match self.config.backend {
+            // The production engine takes the configured dense reduction
+            // backend (a no-op for sparse-backed splits); the naive
+            // reference path below stays fully scalar so there is exactly
+            // one anchored reference implementation.
             DistanceBackend::Indexed => (
-                ds.train.features.point_to_all_many(dist, &pivots),
-                ds.train.features.point_to_other_many(dist, &pivots, &ds.valid.features),
+                ds.train.features.point_to_all_many_with(dist, self.config.dense_backend, &pivots),
+                ds.train.features.point_to_other_many_with(
+                    dist,
+                    self.config.dense_backend,
+                    &pivots,
+                    &ds.valid.features,
+                ),
             ),
             DistanceBackend::Naive => (
                 pivots.iter().map(|&p| ds.train.features.point_to_all_naive(dist, p)).collect(),
@@ -333,37 +349,57 @@ impl Contextualizer {
             for j in 0..n_lfs {
                 let r = self.radius(j, p);
                 let raw = raw_train.column(j);
-                let slot = &mut self.refined_cache[k];
-                if slot.len() <= j {
-                    slot.resize_with(n_lfs, || None);
+                if self.refined_cache[k].len() <= j {
+                    self.refined_cache[k].resize_with(n_lfs, || None);
                 }
                 let fresh = matches!(
-                    &slot[j],
+                    &self.refined_cache[k][j],
                     Some(e) if e.radius_bits == r.to_bits() && e.raw_token == raw.token()
                 );
                 if fresh {
                     self.cache_stats.hits += 1;
                 } else {
-                    let train = {
-                        let d = &self.train_dists[j];
-                        raw.filtered(|i| d[i as usize] <= r)
+                    self.cache_stats.refilters += 1;
+                    // Cross-slot reuse: an earlier grid slot that filtered
+                    // the same raw column at the same radius already holds
+                    // exactly this slot's columns — share its handles
+                    // instead of filtering again. Stale sibling entries
+                    // are skipped by the same key check as the own-slot
+                    // test above.
+                    let reused = self.refined_cache[..k].iter().find_map(|slot| {
+                        slot.get(j)
+                            .and_then(Option::as_ref)
+                            .filter(|e| e.radius_bits == r.to_bits() && e.raw_token == raw.token())
+                            .map(|e| (Arc::clone(&e.train), Arc::clone(&e.valid)))
+                    });
+                    let (train, valid) = match reused {
+                        Some(pair) => {
+                            self.cache_stats.cross_slot_reuses += 1;
+                            pair
+                        }
+                        None => {
+                            let train = {
+                                let d = &self.train_dists[j];
+                                raw.filtered(|i| d[i as usize] <= r)
+                            };
+                            let valid = {
+                                let d = &self.valid_dists[j];
+                                self.raw_valid_cols[j].filtered(|i| d[i as usize] <= r)
+                            };
+                            (Arc::new(train), Arc::new(valid))
+                        }
                     };
-                    let valid = {
-                        let d = &self.valid_dists[j];
-                        self.raw_valid_cols[j].filtered(|i| d[i as usize] <= r)
-                    };
-                    slot[j] = Some(RefinedEntry {
+                    self.refined_cache[k][j] = Some(RefinedEntry {
                         radius_bits: r.to_bits(),
                         raw_token: raw.token(),
-                        train: Arc::new(train),
-                        valid: Arc::new(valid),
+                        train,
+                        valid,
                     });
-                    self.cache_stats.refilters += 1;
                 }
                 // Serve by handle: a refcount bump per column, never a
                 // vote memcpy — warm rounds assemble every grid matrix
                 // in O(1) per column.
-                let entry = slot[j].as_ref().expect("slot populated above");
+                let entry = self.refined_cache[k][j].as_ref().expect("slot populated above");
                 train_m.push_shared(Arc::clone(&entry.train));
                 valid_m.push_shared(Arc::clone(&entry.valid));
                 self.cache_stats.shared_serves += 2;
@@ -452,13 +488,34 @@ impl Contextualizer {
         // `>=` tie-break below resolves the same way under warm and cold
         // fits. (All estimators in this workspace aggregate through
         // `NaiveBayesFit`, whose construction from the clamped accuracies
-        // is bitwise idempotent. Column equality short-circuits through
-        // construction tokens but remains content equality, so cached and
-        // rebuilt matrices resolve `repr`/`unique` identically.)
+        // is bitwise idempotent.)
+        //
+        // Equivalence classes are discovered by **hashing coverage
+        // signatures**, not by the historical pairwise
+        // `O(grid² · coverage)` matrix compare. For a fixed LF `j` every
+        // grid point filters the *same* raw column by `d_j(i) ≤ r`, and
+        // those kept-sets are nested across radii (monotone in `r`), so
+        // two grid points keep identical column content iff they keep the
+        // *same number* of entries — the per-column `coverage()` (an O(1)
+        // stored length) is a sound and complete equality witness. A
+        // slot's signature is its per-LF coverage vector; first occurrence
+        // in the hash map is the class representative, matching the old
+        // scan's first-earlier-equal semantics. This is `O(grid · lfs)`
+        // and — unlike hashing the radius bits — still unifies *distinct*
+        // radii that quantize to the same refined matrix, the common case
+        // the dedup exists for.
         let (mut matrices, valid_matrices) = self.refined_grid_matrices(raw_train, ds.valid.n());
-        let repr: Vec<usize> = (0..matrices.len())
-            .map(|k| (0..k).find(|&j| matrices[j] == matrices[k]).unwrap_or(k))
-            .collect();
+        let repr: Vec<usize> = {
+            let mut first_of: HashMap<Vec<usize>, usize> = HashMap::with_capacity(matrices.len());
+            matrices
+                .iter()
+                .enumerate()
+                .map(|(k, m)| {
+                    let sig: Vec<usize> = m.columns().map(LfColumn::coverage).collect();
+                    *first_of.entry(sig).or_insert(k)
+                })
+                .collect()
+        };
         let unique: Vec<usize> =
             repr.iter().enumerate().filter(|&(k, &r)| r == k).map(|(k, _)| k).collect();
         self.tune_fits += unique.len();
@@ -501,21 +558,32 @@ impl Contextualizer {
         // representative's score IS every member's score, bit for bit.
         // Under [`PosteriorDedup::Class`] each grid point therefore maps
         // to the first earlier point with the same fit and an equal
-        // validation matrix (column equality short-circuits through
-        // construction tokens), and only class representatives predict;
+        // validation matrix, and only class representatives predict;
         // [`PosteriorDedup::PerPoint`] keeps the one-predict-per-point
         // reference behaviour. `tests/matrix_cow_differential.rs` pins
         // bitwise score and selection agreement between the two.
-        let score_repr: Vec<usize> = (0..p_grid.len())
-            .map(|k| {
-                if !dedup_scores {
-                    return k;
-                }
-                (0..k)
-                    .find(|&j| repr[j] == repr[k] && valid_matrices[j] == valid_matrices[k])
-                    .unwrap_or(k)
-            })
-            .collect();
+        //
+        // Validation-matrix equality is again witnessed by coverage
+        // signatures (the valid-side kept-sets are filtered from the same
+        // raw valid column by the same nested radii, so the monotone
+        // argument above applies verbatim), keyed together with the
+        // train-side representative: `O(grid · lfs)` instead of the
+        // pairwise `O(grid² · coverage)` scan, and still catching two
+        // slots whose *different* radii quantize to equal matrices.
+        let score_repr: Vec<usize> = if !dedup_scores {
+            (0..p_grid.len()).collect()
+        } else {
+            let mut first_of: HashMap<(usize, Vec<usize>), usize> =
+                HashMap::with_capacity(p_grid.len());
+            valid_matrices
+                .iter()
+                .enumerate()
+                .map(|(k, m)| {
+                    let sig: Vec<usize> = m.columns().map(LfColumn::coverage).collect();
+                    *first_of.entry((repr[k], sig)).or_insert(k)
+                })
+                .collect()
+        };
 
         // Degenerate case: with an **empty validation split** every grid
         // point's mean log-likelihood is vacuously zero, and the `>=`
@@ -908,6 +976,33 @@ mod tests {
         assert_eq!(ctx.tune_fits(), 2, "duplicate grid points must share fits");
         assert_eq!(ctx.tune_predicts(), 2, "duplicate grid points must share predicts");
         assert!(ctx.config.p_grid.contains(&tuned.p));
+    }
+
+    #[test]
+    fn duplicate_grid_points_share_cached_columns() {
+        // A duplicated percentile's slots miss their own-slot key on the
+        // cold round (still counted as refilters) but must recover every
+        // column from the earlier twin slot by handle — pointer-equal
+        // columns, no second filter pass.
+        let ds = toy_text(1);
+        let (_, matrix, lineage) = setup(&ds, 5, 34);
+        let mut ctx = Contextualizer::new(ContextualizerConfig {
+            p_grid: vec![50.0, 50.0, 100.0],
+            ..Default::default()
+        });
+        ctx.sync(&lineage, &ds);
+        let (t, v) = ctx.refined_grid_matrices(&matrix, ds.valid.n());
+        let stats = ctx.refine_cache_stats();
+        assert_eq!(stats.refilters, 3 * 5, "cold round: every slot's own-slot key misses");
+        assert!(
+            stats.cross_slot_reuses >= 5,
+            "duplicated grid point must reuse its sibling's columns, got {}",
+            stats.cross_slot_reuses
+        );
+        for j in 0..5 {
+            assert!(Arc::ptr_eq(t[0].shared_column(j), t[1].shared_column(j)), "train j={j}");
+            assert!(Arc::ptr_eq(v[0].shared_column(j), v[1].shared_column(j)), "valid j={j}");
+        }
     }
 
     #[test]

@@ -62,29 +62,28 @@ pub trait LearningPipeline {
 
 /// Train the end model on covered examples against the label-model soft
 /// labels and predict all three splits — the step every pipeline shares.
+///
+/// `covered` is the ascending list of train examples with at least one
+/// non-abstain vote, as returned alongside the posterior by
+/// [`nemo_labelmodel::FittedLabelModel::predict_with_coverage`] — the
+/// aggregation pass already touches every vote, so pipelines hand the
+/// coverage through instead of this function re-scanning the (tuned)
+/// train matrix every round.
 pub fn end_model_outputs(
     posterior: Posterior,
-    train_matrix: &LabelMatrix,
+    covered: &[u32],
     ds: &Dataset,
     config: &IdpConfig,
     iter_seed: u64,
     chosen_p: Option<f64>,
 ) -> ModelOutputs {
-    let covered: Vec<u32> = train_matrix
-        .vote_summaries()
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| s.total() > 0)
-        .map(|(i, _)| i as u32)
-        .collect();
-
     if covered.is_empty() {
         return ModelOutputs { chosen_p, ..ModelOutputs::initial(ds) };
     }
 
     let trainer = LogisticRegression::new(config.end_model.clone());
     let model =
-        trainer.fit(ds.train.features.csr(), posterior.p_pos_slice(), Some(&covered), iter_seed);
+        trainer.fit(ds.train.features.csr(), posterior.p_pos_slice(), Some(covered), iter_seed);
     let train_probs = model.predict_proba(ds.train.features.csr());
     let valid_probs = model.predict_proba(ds.valid.features.csr());
     let test_probs = model.predict_proba(ds.test.features.csr());
@@ -117,8 +116,8 @@ impl LearningPipeline for StandardPipeline {
         // minority-class vote unable to cross 0.5 — the posterior then
         // never predicts the minority class and F1 collapses to zero.
         let fitted = label_model.fit(raw_matrix, UNIFORM_BALANCE);
-        let posterior = fitted.predict(raw_matrix);
-        end_model_outputs(posterior, raw_matrix, ds, config, iter_seed, None)
+        let (posterior, covered) = fitted.predict_with_coverage(raw_matrix);
+        end_model_outputs(posterior, &covered, ds, config, iter_seed, None)
     }
 }
 
@@ -188,8 +187,8 @@ impl LearningPipeline for ContextualizedPipeline {
         }
         let label_model = config.label_model.build();
         let tuned = self.ctx.tune_p(raw_matrix, ds, &*label_model, UNIFORM_BALANCE);
-        let posterior = tuned.fitted.predict(&tuned.train_matrix);
-        end_model_outputs(posterior, &tuned.train_matrix, ds, config, iter_seed, Some(tuned.p))
+        let (posterior, covered) = tuned.fitted.predict_with_coverage(&tuned.train_matrix);
+        end_model_outputs(posterior, &covered, ds, config, iter_seed, Some(tuned.p))
     }
 }
 
@@ -269,9 +268,8 @@ mod tests {
     #[test]
     fn end_model_outputs_prior_when_uncovered() {
         let ds = toy_text(1);
-        let matrix = LabelMatrix::new(ds.train.n());
         let posterior = Posterior::from_prior(ds.train.n(), ds.class_prior_pos);
-        let out = end_model_outputs(posterior, &matrix, &ds, &IdpConfig::default(), 0, Some(50.0));
+        let out = end_model_outputs(posterior, &[], &ds, &IdpConfig::default(), 0, Some(50.0));
         assert_eq!(out.chosen_p, Some(50.0));
         assert!((out.train_probs[0] - ds.class_prior_pos).abs() < 1e-12);
     }

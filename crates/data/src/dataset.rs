@@ -9,7 +9,9 @@
 //! primitive domain `Z`.
 
 use nemo_lf::{Label, Metric, PrimitiveCorpus};
-use nemo_sparse::{CscIndex, CsrMatrix, DenseMatrix, Distance, DistanceScratch, SparseVec};
+use nemo_sparse::{
+    CscIndex, CsrMatrix, DenseBackend, DenseMatrix, Distance, DistanceScratch, SparseVec,
+};
 
 /// Feature vectors for one split. The canonical storage is CSR (sparse);
 /// dense features (the VG substitute's embeddings) additionally keep the
@@ -99,7 +101,9 @@ impl Features {
     }
 
     /// Indexed point-to-all into caller-owned buffers; repeated calls with
-    /// the same `scratch`/`out` are allocation-free.
+    /// the same `scratch`/`out` are allocation-free. Uses the scalar dense
+    /// reduction (the historical bit-exact results); pass a backend
+    /// explicitly via [`Features::point_to_all_into_with`].
     pub fn point_to_all_into(
         &self,
         dist: Distance,
@@ -107,15 +111,32 @@ impl Features {
         scratch: &mut DistanceScratch,
         out: &mut Vec<f64>,
     ) {
+        self.point_to_all_into_with(dist, DenseBackend::Scalar, pivot, scratch, out);
+    }
+
+    /// [`Features::point_to_all_into`] with an explicit dense reduction
+    /// backend (ignored for sparse-backed splits). Single-pivot queries go
+    /// through the sharded kernels, which are bit-identical to the serial
+    /// ones for the same backend and parallelize large pools over fixed
+    /// row ranges.
+    pub fn point_to_all_into_with(
+        &self,
+        dist: Distance,
+        backend: DenseBackend,
+        pivot: usize,
+        scratch: &mut DistanceScratch,
+        out: &mut Vec<f64>,
+    ) {
         match (&self.dense, &self.csc) {
-            (Some(d), _) => dist.dense_row_to_all_cached_into(
+            (Some(d), _) => dist.dense_row_to_all_sharded_into(
+                backend,
                 d.row(pivot),
                 self.sq_norms[pivot],
                 d,
                 &self.sq_norms,
                 out,
             ),
-            (None, Some(csc)) => dist.sparse_point_to_all_indexed_into(
+            (None, Some(csc)) => dist.sparse_point_to_all_indexed_sharded_into(
                 &self.csr,
                 csc,
                 pivot,
@@ -138,10 +159,24 @@ impl Features {
     }
 
     /// Batched point-to-all: one distance vector per pivot, in pivot
-    /// order, partitioned over the pivots via `nemo_sparse::parallel`.
+    /// order, partitioned over the pivots via `nemo_sparse::parallel`
+    /// (scalar dense backend; see [`Features::point_to_all_many_with`]).
     pub fn point_to_all_many(&self, dist: Distance, pivots: &[usize]) -> Vec<Vec<f64>> {
+        self.point_to_all_many_with(dist, DenseBackend::Scalar, pivots)
+    }
+
+    /// [`Features::point_to_all_many`] with an explicit dense reduction
+    /// backend (ignored for sparse-backed splits). Batches with fewer
+    /// pivots than workers shard each query over row ranges instead —
+    /// bit-identical either way.
+    pub fn point_to_all_many_with(
+        &self,
+        dist: Distance,
+        backend: DenseBackend,
+        pivots: &[usize],
+    ) -> Vec<Vec<f64>> {
         match (&self.dense, &self.csc) {
-            (Some(d), _) => dist.dense_point_to_all_many(d, pivots, &self.sq_norms),
+            (Some(d), _) => dist.dense_point_to_all_many_with(backend, d, pivots, &self.sq_norms),
             (None, Some(csc)) => dist.sparse_point_to_all_many(
                 &self.csr,
                 &self.sq_norms,
@@ -163,7 +198,8 @@ impl Features {
         out
     }
 
-    /// Indexed cross-split point-to-all into caller-owned buffers.
+    /// Indexed cross-split point-to-all into caller-owned buffers (scalar
+    /// dense backend; see [`Features::point_to_other_into_with`]).
     pub fn point_to_other_into(
         &self,
         dist: Distance,
@@ -172,15 +208,31 @@ impl Features {
         scratch: &mut DistanceScratch,
         out: &mut Vec<f64>,
     ) {
+        self.point_to_other_into_with(dist, DenseBackend::Scalar, pivot, other, scratch, out);
+    }
+
+    /// [`Features::point_to_other_into`] with an explicit dense reduction
+    /// backend (used only when both splits are dense-backed). Single-pivot
+    /// queries go through the sharded kernels (bit-identical to serial).
+    pub fn point_to_other_into_with(
+        &self,
+        dist: Distance,
+        backend: DenseBackend,
+        pivot: usize,
+        other: &Features,
+        scratch: &mut DistanceScratch,
+        out: &mut Vec<f64>,
+    ) {
         match (&self.dense, &other.dense, &other.csc) {
-            (Some(d_self), Some(d_other), _) => dist.dense_row_to_all_cached_into(
+            (Some(d_self), Some(d_other), _) => dist.dense_row_to_all_sharded_into(
+                backend,
                 d_self.row(pivot),
                 self.sq_norms[pivot],
                 d_other,
                 &other.sq_norms,
                 out,
             ),
-            (_, _, Some(csc)) => dist.sparse_row_to_all_indexed_into(
+            (_, _, Some(csc)) => dist.sparse_row_to_all_indexed_sharded_into(
                 &self.csr.row(pivot),
                 self.sq_norms[pivot],
                 csc,
@@ -213,27 +265,108 @@ impl Features {
         }
     }
 
+    /// Serial cross-split dispatch: the per-pivot kernel the batched path
+    /// partitions over (never spawns, so pivot-level workers don't nest
+    /// shard-level workers).
+    fn point_to_other_serial_into_with(
+        &self,
+        dist: Distance,
+        backend: DenseBackend,
+        pivot: usize,
+        other: &Features,
+        scratch: &mut DistanceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        match (&self.dense, &other.dense, &other.csc) {
+            (Some(d_self), Some(d_other), _) => dist.dense_row_to_all_cached_into_with(
+                backend,
+                d_self.row(pivot),
+                self.sq_norms[pivot],
+                d_other,
+                &other.sq_norms,
+                out,
+            ),
+            (_, _, Some(csc)) => dist.sparse_row_to_all_indexed_into(
+                &self.csr.row(pivot),
+                self.sq_norms[pivot],
+                csc,
+                &other.sq_norms,
+                scratch,
+                out,
+            ),
+            _ => dist.sparse_row_to_all_into(
+                &self.csr.row(pivot),
+                self.sq_norms[pivot],
+                &other.csr,
+                &other.sq_norms,
+                out,
+            ),
+        }
+    }
+
     /// Batched cross-split point-to-all: one distance vector per pivot of
-    /// *this* split against every example of `other`, in pivot order.
+    /// *this* split against every example of `other`, in pivot order
+    /// (scalar dense backend; see [`Features::point_to_other_many_with`]).
     pub fn point_to_other_many(
         &self,
         dist: Distance,
         pivots: &[usize],
         other: &Features,
     ) -> Vec<Vec<f64>> {
-        use nemo_sparse::parallel::par_flat_map_chunks;
+        self.point_to_other_many_with(dist, DenseBackend::Scalar, pivots, other)
+    }
+
+    /// [`Features::point_to_other_many`] with an explicit dense reduction
+    /// backend. Batches with fewer pivots than workers shard each query
+    /// over row ranges of `other` instead of partitioning over the pivots
+    /// — bit-identical either way.
+    pub fn point_to_other_many_with(
+        &self,
+        dist: Distance,
+        backend: DenseBackend,
+        pivots: &[usize],
+        other: &Features,
+    ) -> Vec<Vec<f64>> {
+        use nemo_sparse::parallel::{num_threads, par_flat_map_chunks};
         match (&self.dense, &other.dense, &other.csc) {
-            (Some(_), Some(_), _) | (_, _, None) => par_flat_map_chunks(pivots, 2, |_, chunk| {
-                let mut scratch = DistanceScratch::new();
-                chunk
-                    .iter()
-                    .map(|&p| {
-                        let mut out = Vec::new();
-                        self.point_to_other_into(dist, p, other, &mut scratch, &mut out);
-                        out
-                    })
-                    .collect()
-            }),
+            (Some(_), Some(_), _) | (_, _, None) => {
+                if pivots.len() < num_threads() {
+                    let mut scratch = DistanceScratch::new();
+                    return pivots
+                        .iter()
+                        .map(|&p| {
+                            let mut out = Vec::new();
+                            self.point_to_other_into_with(
+                                dist,
+                                backend,
+                                p,
+                                other,
+                                &mut scratch,
+                                &mut out,
+                            );
+                            out
+                        })
+                        .collect();
+                }
+                par_flat_map_chunks(pivots, 2, |_, chunk| {
+                    let mut scratch = DistanceScratch::new();
+                    chunk
+                        .iter()
+                        .map(|&p| {
+                            let mut out = Vec::new();
+                            self.point_to_other_serial_into_with(
+                                dist,
+                                backend,
+                                p,
+                                other,
+                                &mut scratch,
+                                &mut out,
+                            );
+                            out
+                        })
+                        .collect()
+                })
+            }
             (_, _, Some(csc)) => dist.sparse_point_to_all_many(
                 &self.csr,
                 &self.sq_norms,
@@ -443,6 +576,74 @@ mod tests {
             for (p, m_row) in many.iter().enumerate() {
                 assert_eq!(f.point_to_all(dist, p), f.point_to_all_naive(dist, p));
                 assert_eq!(m_row, &f.point_to_all_naive(dist, p));
+            }
+        }
+    }
+
+    /// The blocked dense backend stays within the documented 1e-9 relative
+    /// tolerance of the scalar reference on every dense-backed path, the
+    /// scalar `_with` path reproduces the historical results bitwise, and
+    /// sparse-backed splits ignore the backend entirely.
+    #[test]
+    fn dense_backend_with_variants_consistent() {
+        let d = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0, 2.0, -1.0, 0.5, 3.0, -0.25, 1.5, 2.5],
+            vec![0.5, 0.5, -1.0, 2.0, 0.0, 1.0, 0.75, -0.5, 1.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ]);
+        let f = Features::from_dense(d);
+        let fs = Features::from_csr(f.csr().clone());
+        let mut scratch = DistanceScratch::new();
+        let (mut scalar, mut blocked) = (Vec::new(), Vec::new());
+        for dist in [Distance::Cosine, Distance::Euclidean] {
+            let pivots: Vec<usize> = (0..f.n()).collect();
+            for p in 0..f.n() {
+                f.point_to_all_into_with(dist, DenseBackend::Scalar, p, &mut scratch, &mut scalar);
+                assert_eq!(scalar, f.point_to_all(dist, p), "{dist:?} scalar _with drifted");
+                f.point_to_all_into_with(
+                    dist,
+                    DenseBackend::Blocked,
+                    p,
+                    &mut scratch,
+                    &mut blocked,
+                );
+                for (r, (&a, &b)) in scalar.iter().zip(&blocked).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                        "{dist:?} pivot {p} row {r}: {a} vs {b}"
+                    );
+                }
+                f.point_to_other_into_with(
+                    dist,
+                    DenseBackend::Blocked,
+                    p,
+                    &f,
+                    &mut scratch,
+                    &mut scalar,
+                );
+                assert_eq!(scalar, blocked, "{dist:?} self-other disagrees with all");
+                // Sparse-backed splits ignore the dense backend.
+                fs.point_to_all_into_with(
+                    dist,
+                    DenseBackend::Blocked,
+                    p,
+                    &mut scratch,
+                    &mut scalar,
+                );
+                assert_eq!(scalar, fs.point_to_all(dist, p), "{dist:?} sparse backend leak");
+            }
+            let many = f.point_to_all_many_with(dist, DenseBackend::Blocked, &pivots);
+            let many_other = f.point_to_other_many_with(dist, DenseBackend::Blocked, &pivots, &f);
+            for (p, (m_row, mo_row)) in many.iter().zip(&many_other).enumerate() {
+                f.point_to_all_into_with(
+                    dist,
+                    DenseBackend::Blocked,
+                    p,
+                    &mut scratch,
+                    &mut blocked,
+                );
+                assert_eq!(m_row, &blocked, "{dist:?} batched pivot {p}");
+                assert_eq!(mo_row, &blocked, "{dist:?} batched-other pivot {p}");
             }
         }
     }

@@ -47,6 +47,18 @@ pub trait FittedLabelModel: Send + Sync {
     /// Aggregate votes into posteriors `P(y_i | L)`.
     fn predict(&self, matrix: &LabelMatrix) -> Posterior;
 
+    /// [`FittedLabelModel::predict`], also returning the ascending ids of
+    /// examples with at least one non-abstain vote — the subset the end
+    /// model trains on. The default derives coverage with a second
+    /// `O(nnz + n)` matrix pass ([`LabelMatrix::covered_examples`]);
+    /// [`NaiveBayesFit`] overrides it to mark coverage while scattering
+    /// vote logits, so the pipeline's per-round predict-then-train
+    /// hand-off scans the tuned train matrix exactly once. Both paths
+    /// return bitwise-identical posteriors and the identical id list.
+    fn predict_with_coverage(&self, matrix: &LabelMatrix) -> (Posterior, Vec<u32>) {
+        (self.predict(matrix), matrix.covered_examples())
+    }
+
     /// Predict on `matrix` and score the posteriors against gold
     /// `labels` in one call
     /// ([`crate::Posterior::mean_log_likelihood`]) — the validation
@@ -95,14 +107,13 @@ impl NaiveBayesFit {
     pub fn prior_logit(&self) -> f64 {
         self.prior_logit
     }
-}
 
-impl FittedLabelModel for NaiveBayesFit {
-    fn lf_accuracies(&self) -> &[f64] {
-        &self.accuracies
-    }
-
-    fn predict(&self, matrix: &LabelMatrix) -> Posterior {
+    /// Scatter every vote into per-example logits, invoking `on_vote`
+    /// with each touched example id — the single pass both
+    /// [`FittedLabelModel::predict`] (no-op observer) and the fused
+    /// [`FittedLabelModel::predict_with_coverage`] (coverage marking)
+    /// share, so their posteriors are bitwise-identical by construction.
+    fn scatter_logits(&self, matrix: &LabelMatrix, mut on_vote: impl FnMut(u32)) -> Vec<f64> {
         assert_eq!(
             matrix.n_lfs(),
             self.accuracies.len(),
@@ -115,9 +126,32 @@ impl FittedLabelModel for NaiveBayesFit {
             let w = self.log_odds[j];
             for &(i, v) in col.entries() {
                 logits[i as usize] += v as f64 * w;
+                on_vote(i);
             }
         }
+        logits
+    }
+}
+
+impl FittedLabelModel for NaiveBayesFit {
+    fn lf_accuracies(&self) -> &[f64] {
+        &self.accuracies
+    }
+
+    fn predict(&self, matrix: &LabelMatrix) -> Posterior {
+        let logits = self.scatter_logits(matrix, |_| {});
         Posterior::new(logits.into_iter().map(sigmoid).collect())
+    }
+
+    /// Fused variant: coverage is marked while the votes are scattered,
+    /// replacing the default implementation's second matrix pass.
+    fn predict_with_coverage(&self, matrix: &LabelMatrix) -> (Posterior, Vec<u32>) {
+        let mut voted = vec![false; matrix.n_examples()];
+        let logits = self.scatter_logits(matrix, |i| voted[i as usize] = true);
+        let posterior = Posterior::new(logits.into_iter().map(sigmoid).collect());
+        let covered =
+            voted.iter().enumerate().filter(|&(_, &v)| v).map(|(i, _)| i as u32).collect();
+        (posterior, covered)
     }
 }
 
@@ -183,6 +217,28 @@ mod tests {
         // Example 1: +log(4) − log(0.7/0.3)
         let expect1 = sigmoid((0.8f64 / 0.2).ln() - (0.7f64 / 0.3).ln());
         assert!((post.p_pos(1) - expect1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_coverage_matches_separate_passes() {
+        let m = matrix();
+        let fit = NaiveBayesFit::new(vec![0.8, 0.7], [0.4, 0.6]);
+        let (post, covered) = fit.predict_with_coverage(&m);
+        // Same single scatter pass ⇒ bitwise-equal posteriors.
+        let separate = fit.predict(&m);
+        for i in 0..m.n_examples() {
+            assert_eq!(post.p_pos(i).to_bits(), separate.p_pos(i).to_bits());
+        }
+        // Coverage identical to the unfused two-pass derivation;
+        // example 3 is uncovered.
+        assert_eq!(covered, m.covered_examples());
+        assert_eq!(covered, vec![0, 1, 2]);
+
+        let empty = LabelMatrix::new(2);
+        let none = NaiveBayesFit::new(vec![], [0.5, 0.5]);
+        let (p, c) = none.predict_with_coverage(&empty);
+        assert_eq!(p.len(), 2);
+        assert!(c.is_empty());
     }
 
     #[test]

@@ -271,6 +271,21 @@ impl LabelMatrix {
         out
     }
 
+    /// Example ids covered by at least one LF, ascending — the training
+    /// subset the end model fits on. One `O(nnz + n)` pass; aggregation
+    /// paths that already scatter every entry (the label-model fused
+    /// predict) derive the same list as a by-product instead of calling
+    /// this.
+    pub fn covered_examples(&self) -> Vec<u32> {
+        let mut covered = vec![false; self.n_examples];
+        for col in &self.columns {
+            for &(i, _) in col.entries() {
+                covered[i as usize] = true;
+            }
+        }
+        covered.iter().enumerate().filter(|&(_, &c)| c).map(|(i, _)| i as u32).collect()
+    }
+
     /// Fraction of examples covered by at least one LF.
     pub fn coverage_frac(&self) -> f64 {
         if self.n_examples == 0 {
@@ -338,6 +353,25 @@ mod tests {
         let c = corpus();
         let m = LabelMatrix::from_lfs(&[PrimitiveLf::new(0, Label::Pos)], &c);
         assert!((m.coverage_frac() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covered_examples_sorted_and_deduplicated() {
+        let c = corpus();
+        let lfs = vec![PrimitiveLf::new(0, Label::Pos), PrimitiveLf::new(1, Label::Neg)];
+        let m = LabelMatrix::from_lfs(&lfs, &c);
+        // LF0 covers {0,1}, LF1 covers {1,2}; example 3 stays uncovered.
+        assert_eq!(m.covered_examples(), vec![0, 1, 2]);
+        assert_eq!(LabelMatrix::new(4).covered_examples(), Vec::<u32>::new());
+        // Matches the vote-summary derivation the end model used to do.
+        let from_summaries: Vec<u32> = m
+            .vote_summaries()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.total() > 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(m.covered_examples(), from_summaries);
     }
 
     #[test]

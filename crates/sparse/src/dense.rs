@@ -90,11 +90,115 @@ impl DenseMatrix {
     }
 }
 
+/// Which dense reduction kernel the distance engine uses.
+///
+/// The scalar kernels ([`dot`], [`sq_euclidean`]) reduce with a single
+/// sequential `f64` accumulator — a loop-carried add chain whose latency
+/// (not the multiply throughput) bounds the whole point-to-all scan. The
+/// blocked kernels ([`dot_blocked`], [`sq_euclidean_blocked`]) keep
+/// [`DOT_LANES`] independent accumulators over fixed-width column chunks,
+/// which breaks the chain and lets the compiler keep several FMAs in
+/// flight (and vectorize the chunk body).
+///
+/// Both kernels are deterministic — the blocked combine order is fixed and
+/// independent of thread count — but they are *not* bit-identical to each
+/// other: blocking reassociates the `f64` sum, so blocked and scalar
+/// distances may differ by up to ~1e-9 relative (see the documented
+/// tolerance in `tests/dense_kernel_differential.rs`). `Scalar` is kept as
+/// the reference leg for that differential, mirroring how
+/// `DistanceBackend::Naive` anchors the indexed sparse kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DenseBackend {
+    /// Multi-accumulator chunked kernel (the production default).
+    #[default]
+    Blocked,
+    /// Single-accumulator sequential reduction (the reference leg).
+    Scalar,
+}
+
+impl DenseBackend {
+    /// Stable name for configs, logs, and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DenseBackend::Blocked => "blocked",
+            DenseBackend::Scalar => "scalar",
+        }
+    }
+
+    /// Dot product under this backend.
+    #[inline]
+    pub fn dot(self, a: &[f32], b: &[f32]) -> f64 {
+        match self {
+            DenseBackend::Blocked => dot_blocked(a, b),
+            DenseBackend::Scalar => dot(a, b),
+        }
+    }
+
+    /// Squared euclidean distance under this backend.
+    #[inline]
+    pub fn sq_euclidean(self, a: &[f32], b: &[f32]) -> f64 {
+        match self {
+            DenseBackend::Blocked => sq_euclidean_blocked(a, b),
+            DenseBackend::Scalar => sq_euclidean(a, b),
+        }
+    }
+}
+
+/// Independent accumulator lanes in the blocked dense kernels. Eight `f64`
+/// lanes fill two 4-wide AVX2 registers (or four 2-wide NEON ones) and are
+/// enough to hide the 4-cycle FMA latency of one sequential chain.
+pub const DOT_LANES: usize = 8;
+
 /// Dense dot product.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+/// Blocked dense dot product: [`DOT_LANES`] independent `f64` accumulators
+/// over fixed-width chunks, plus a scalar tail, combined in a fixed order.
+///
+/// Deterministic (the chunk grid and combine order depend only on the
+/// input length) but reassociated relative to [`dot`], so results may
+/// differ from the scalar kernel in the last bits.
+#[inline]
+pub fn dot_blocked(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let main = a.len() / DOT_LANES * DOT_LANES;
+    let mut acc = [0.0f64; DOT_LANES];
+    for (ca, cb) in a[..main].chunks_exact(DOT_LANES).zip(b[..main].chunks_exact(DOT_LANES)) {
+        for l in 0..DOT_LANES {
+            acc[l] += ca[l] as f64 * cb[l] as f64;
+        }
+    }
+    let mut tail = 0.0f64;
+    for (&x, &y) in a[main..].iter().zip(&b[main..]) {
+        tail += x as f64 * y as f64;
+    }
+    acc.iter().sum::<f64>() + tail
+}
+
+/// Blocked squared euclidean distance; same lane structure and determinism
+/// contract as [`dot_blocked`], keeping the difference form of
+/// [`sq_euclidean`] (no norm/dot recombination).
+#[inline]
+pub fn sq_euclidean_blocked(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let main = a.len() / DOT_LANES * DOT_LANES;
+    let mut acc = [0.0f64; DOT_LANES];
+    for (ca, cb) in a[..main].chunks_exact(DOT_LANES).zip(b[..main].chunks_exact(DOT_LANES)) {
+        for l in 0..DOT_LANES {
+            let d = ca[l] as f64 - cb[l] as f64;
+            acc[l] += d * d;
+        }
+    }
+    let mut tail = 0.0f64;
+    for (&x, &y) in a[main..].iter().zip(&b[main..]) {
+        let d = x as f64 - y as f64;
+        tail += d * d;
+    }
+    acc.iter().sum::<f64>() + tail
 }
 
 /// Squared euclidean distance between dense vectors.
@@ -186,6 +290,61 @@ mod tests {
         let b = [4.0f32, 5.0, 6.0];
         assert!((dot(&a, &b) - 32.0).abs() < 1e-9);
         assert!((sq_euclidean(&a, &b) - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_kernels_match_scalar_closely() {
+        // Deterministic pseudo-random vectors long enough to exercise both
+        // the lane body and the tail (length not a multiple of DOT_LANES).
+        let mut state = 0x9e37u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 100, 1027] {
+            let a: Vec<f32> = (0..len).map(|_| next()).collect();
+            let b: Vec<f32> = (0..len).map(|_| next()).collect();
+            let d_scalar = dot(&a, &b);
+            let d_blocked = dot_blocked(&a, &b);
+            assert!(
+                (d_scalar - d_blocked).abs() <= 1e-9 * (1.0 + d_scalar.abs()),
+                "dot mismatch at len={len}: {d_scalar} vs {d_blocked}"
+            );
+            let e_scalar = sq_euclidean(&a, &b);
+            let e_blocked = sq_euclidean_blocked(&a, &b);
+            assert!(
+                (e_scalar - e_blocked).abs() <= 1e-9 * (1.0 + e_scalar.abs()),
+                "sq_euclidean mismatch at len={len}: {e_scalar} vs {e_blocked}"
+            );
+            assert!(e_blocked >= 0.0);
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_are_deterministic() {
+        let a: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..100).map(|i| (i as f32).cos()).collect();
+        assert_eq!(dot_blocked(&a, &b).to_bits(), dot_blocked(&a, &b).to_bits());
+        assert_eq!(sq_euclidean_blocked(&a, &b).to_bits(), sq_euclidean_blocked(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn dense_backend_dispatch_and_names() {
+        assert_eq!(DenseBackend::default(), DenseBackend::Blocked);
+        assert_eq!(DenseBackend::Blocked.name(), "blocked");
+        assert_eq!(DenseBackend::Scalar.name(), "scalar");
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let b = [9.0f32, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(DenseBackend::Scalar.dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+        assert_eq!(DenseBackend::Blocked.dot(&a, &b).to_bits(), dot_blocked(&a, &b).to_bits());
+        assert_eq!(
+            DenseBackend::Scalar.sq_euclidean(&a, &b).to_bits(),
+            sq_euclidean(&a, &b).to_bits()
+        );
+        assert_eq!(
+            DenseBackend::Blocked.sq_euclidean(&a, &b).to_bits(),
+            sq_euclidean_blocked(&a, &b).to_bits()
+        );
     }
 
     #[test]

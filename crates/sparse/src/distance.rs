@@ -23,11 +23,38 @@
 //! 3. **Batched** ([`Distance::sparse_point_to_all_many`]) — one call per
 //!    round registering many pivots, partitioned over the pivots via
 //!    [`crate::parallel`] with one scratch per worker.
+//! 4. **Sharded single-pivot**
+//!    ([`Distance::sparse_row_to_all_indexed_sharded_into`]) — one pivot's
+//!    posting lists split over fixed contiguous row ranges
+//!    ([`INDEXED_SHARD_ROWS`] rows per shard), whole shards distributed
+//!    over workers. Each shard accumulates its own rows' terms in the same
+//!    ascending-column order as tiers 1–2, so the result is bit-identical
+//!    for *any* worker count — the shard grid depends only on the row
+//!    count. Batches with fewer pivots than workers route through this
+//!    kernel automatically.
+//!
+//! The dense kernels mirror this with a [`DenseBackend`] switch (blocked
+//! multi-accumulator reduction vs the scalar reference; see
+//! [`crate::dense`]) and a row-block-sharded point-to-all
+//! ([`Distance::dense_row_to_all_sharded_into`]).
 
 use crate::csc::CscIndex;
 use crate::csr::{CsrMatrix, SparseRow};
-use crate::dense::{self, DenseMatrix};
+use crate::dense::{self, DenseBackend, DenseMatrix};
 use crate::parallel;
+
+/// Rows per shard of a sharded single-pivot indexed query. The shard grid
+/// is a constant of the kernel (never derived from the thread count), so
+/// every partial sum is computed identically under any `NEMO_THREADS`.
+pub const INDEXED_SHARD_ROWS: usize = 4096;
+
+/// Rows per shard of the sharded dense point-to-all (dense rows are
+/// `O(n_cols)` each, so shards are smaller than the sparse ones).
+pub const DENSE_SHARD_ROWS: usize = 1024;
+
+/// Below this many target rows a single-pivot query stays serial: thread
+/// spawns cost tens of microseconds, which dominates small pools.
+pub const MIN_SHARDED_ROWS: usize = 8192;
 
 /// Reusable accumulator for the indexed sparse kernels: one `f64` dot
 /// slot per target row, zeroed at the start of every call. Keeping it
@@ -235,6 +262,86 @@ impl Distance {
         }
     }
 
+    /// Sharded indexed point-to-all: like
+    /// [`Distance::sparse_point_to_all_indexed_into`] but parallel over
+    /// fixed row ranges of the *single* query (allocating wrapper over
+    /// [`Distance::sparse_row_to_all_indexed_sharded_into`]).
+    pub fn sparse_point_to_all_indexed_sharded_into(
+        self,
+        m: &CsrMatrix,
+        index: &CscIndex,
+        pivot: usize,
+        sq_norms: &[f64],
+        scratch: &mut DistanceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let p = m.row(pivot);
+        self.sparse_row_to_all_indexed_sharded_into(
+            &p,
+            sq_norms[pivot],
+            index,
+            sq_norms,
+            scratch,
+            out,
+        );
+    }
+
+    /// Sharded indexed row-to-all: one pivot query parallelized over fixed
+    /// contiguous row ranges of the target matrix.
+    ///
+    /// The target rows are cut into [`INDEXED_SHARD_ROWS`]-row shards (a
+    /// grid depending only on the row count). Each shard binary-searches
+    /// every pivot column's posting list down to its own row range
+    /// (posting lists are sorted by row id) and scatters those entries
+    /// into its private slice of the scratch accumulator, then finishes
+    /// its rows in place. A row's matching terms still accumulate in
+    /// ascending column order — the same `f64` operations as the serial
+    /// indexed kernel — so the output is **bit-identical** to
+    /// [`Distance::sparse_row_to_all_indexed_into`] under any
+    /// `NEMO_THREADS`, including 1. Small pools (below
+    /// [`MIN_SHARDED_ROWS`]) and single-threaded configurations fall back
+    /// to the serial kernel outright.
+    pub fn sparse_row_to_all_indexed_sharded_into(
+        self,
+        pivot: &SparseRow<'_>,
+        pivot_sq: f64,
+        index: &CscIndex,
+        sq_norms: &[f64],
+        scratch: &mut DistanceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let n = index.n_rows();
+        if n < MIN_SHARDED_ROWS || parallel::num_threads() == 1 {
+            return self
+                .sparse_row_to_all_indexed_into(pivot, pivot_sq, index, sq_norms, scratch, out);
+        }
+        assert_eq!(sq_norms.len(), n, "sq_norms length mismatch");
+        let dots = scratch.reset(n);
+        out.clear();
+        out.resize(n, 0.0);
+        parallel::par_for_each_fixed_chunk2_mut(
+            dots,
+            out,
+            INDEXED_SHARD_ROWS,
+            |lo, dots_c, out_c| {
+                let hi = lo + dots_c.len();
+                for (j, v) in pivot.iter() {
+                    let (rows, vals) = index.col(j);
+                    // Narrow the posting list to this shard's row range.
+                    let start = rows.partition_point(|&r| (r as usize) < lo);
+                    let end = start + rows[start..].partition_point(|&r| (r as usize) < hi);
+                    let v = v as f64;
+                    for (&r, &w) in rows[start..end].iter().zip(&vals[start..end]) {
+                        dots_c[r as usize - lo] += v * w as f64;
+                    }
+                }
+                for (i, (&d, o)) in dots_c.iter().zip(out_c.iter_mut()).enumerate() {
+                    *o = self.finish(d, pivot_sq, sq_norms[lo + i]);
+                }
+            },
+        );
+    }
+
     /// Batched indexed kernel: distances from each of `pivots` (rows of
     /// `src`) to every row of the matrix behind `index`, one vector per
     /// pivot, in pivot order.
@@ -244,6 +351,13 @@ impl Distance {
     /// written exactly once, so a round registering many LFs does all its
     /// distance work in a single pass. `src` may be the indexed matrix
     /// itself (self-distances) or another matrix in the same feature space.
+    ///
+    /// Batches with fewer pivots than workers (the common
+    /// one-LF-per-round interactive case) leave cores idle under
+    /// pivot-level partitioning, so they route each query through the
+    /// bit-identical sharded kernel
+    /// ([`Distance::sparse_row_to_all_indexed_sharded_into`]) instead —
+    /// the results are the same either way, only the parallel axis moves.
     pub fn sparse_point_to_all_many(
         self,
         src: &CsrMatrix,
@@ -252,6 +366,24 @@ impl Distance {
         index: &CscIndex,
         target_sq_norms: &[f64],
     ) -> Vec<Vec<f64>> {
+        if pivots.len() < parallel::num_threads() {
+            let mut scratch = DistanceScratch::new();
+            return pivots
+                .iter()
+                .map(|&p| {
+                    let mut out = Vec::new();
+                    self.sparse_row_to_all_indexed_sharded_into(
+                        &src.row(p),
+                        src_sq_norms[p],
+                        index,
+                        target_sq_norms,
+                        &mut scratch,
+                        &mut out,
+                    );
+                    out
+                })
+                .collect();
+        }
         parallel::par_flat_map_chunks(pivots, 2, |_, chunk| {
             let mut scratch = DistanceScratch::new();
             chunk
@@ -292,32 +424,141 @@ impl Distance {
         sq_norms: &[f64],
         out: &mut Vec<f64>,
     ) {
+        self.dense_row_to_all_cached_into_with(
+            DenseBackend::Scalar,
+            pivot,
+            pivot_sq,
+            m,
+            sq_norms,
+            out,
+        );
+    }
+
+    /// [`Distance::dense_row_to_all_cached_into`] with an explicit
+    /// [`DenseBackend`] choosing the per-row reduction kernel.
+    ///
+    /// `Scalar` reproduces the historical single-accumulator results
+    /// bitwise; `Blocked` uses the multi-accumulator kernels from
+    /// [`crate::dense`], which are deterministic but reassociate the sums
+    /// (≤ ~1e-9 relative difference; see the `DenseBackend` docs). Norms
+    /// are always the cached scalar-order sums, so the two backends differ
+    /// only in the dot / squared-difference reduction.
+    pub fn dense_row_to_all_cached_into_with(
+        self,
+        backend: DenseBackend,
+        pivot: &[f32],
+        pivot_sq: f64,
+        m: &DenseMatrix,
+        sq_norms: &[f64],
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(sq_norms.len(), m.n_rows(), "sq_norms length mismatch");
         out.clear();
         out.reserve(m.n_rows());
         for (r, row) in m.rows().enumerate() {
             let d = match self {
-                Distance::Cosine => cosine_distance(dense::dot(pivot, row), pivot_sq, sq_norms[r]),
-                Distance::Euclidean => dense::sq_euclidean(pivot, row).sqrt(),
+                Distance::Cosine => cosine_distance(backend.dot(pivot, row), pivot_sq, sq_norms[r]),
+                Distance::Euclidean => backend.sq_euclidean(pivot, row).sqrt(),
             };
             out.push(d);
         }
     }
 
+    /// Sharded dense row-to-all: one pivot query parallelized over fixed
+    /// [`DENSE_SHARD_ROWS`]-row blocks of `m`.
+    ///
+    /// Dense distances are computed row-independently, so the sharded
+    /// result is trivially bit-identical to
+    /// [`Distance::dense_row_to_all_cached_into_with`] for the same
+    /// `backend` under any `NEMO_THREADS`; the fixed block grid keeps the
+    /// work distribution itself deterministic. Small pools (below
+    /// [`MIN_SHARDED_ROWS`]) and single-threaded configurations fall back
+    /// to the serial kernel outright.
+    pub fn dense_row_to_all_sharded_into(
+        self,
+        backend: DenseBackend,
+        pivot: &[f32],
+        pivot_sq: f64,
+        m: &DenseMatrix,
+        sq_norms: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let n = m.n_rows();
+        if n < MIN_SHARDED_ROWS || parallel::num_threads() == 1 {
+            return self
+                .dense_row_to_all_cached_into_with(backend, pivot, pivot_sq, m, sq_norms, out);
+        }
+        assert_eq!(sq_norms.len(), n, "sq_norms length mismatch");
+        out.clear();
+        out.resize(n, 0.0);
+        parallel::par_for_each_fixed_chunk_mut(out, DENSE_SHARD_ROWS, |lo, out_c| {
+            for (i, o) in out_c.iter_mut().enumerate() {
+                let r = lo + i;
+                let row = m.row(r);
+                *o = match self {
+                    Distance::Cosine => {
+                        cosine_distance(backend.dot(pivot, row), pivot_sq, sq_norms[r])
+                    }
+                    Distance::Euclidean => backend.sq_euclidean(pivot, row).sqrt(),
+                };
+            }
+        });
+    }
+
     /// Batched dense kernel: one distance vector per pivot row of `m`,
-    /// partitioned over the pivots via [`crate::parallel`].
+    /// partitioned over the pivots via [`crate::parallel`]. Scalar-backend
+    /// wrapper over [`Distance::dense_point_to_all_many_with`].
     pub fn dense_point_to_all_many(
         self,
         m: &DenseMatrix,
         pivots: &[usize],
         sq_norms: &[f64],
     ) -> Vec<Vec<f64>> {
+        self.dense_point_to_all_many_with(DenseBackend::Scalar, m, pivots, sq_norms)
+    }
+
+    /// Batched dense kernel with an explicit [`DenseBackend`]. Batches
+    /// with fewer pivots than workers route each query through the
+    /// bit-identical row-block-sharded kernel
+    /// ([`Distance::dense_row_to_all_sharded_into`]) instead of leaving
+    /// cores idle on pivot-level partitioning.
+    pub fn dense_point_to_all_many_with(
+        self,
+        backend: DenseBackend,
+        m: &DenseMatrix,
+        pivots: &[usize],
+        sq_norms: &[f64],
+    ) -> Vec<Vec<f64>> {
+        if pivots.len() < parallel::num_threads() {
+            return pivots
+                .iter()
+                .map(|&p| {
+                    let mut out = Vec::new();
+                    self.dense_row_to_all_sharded_into(
+                        backend,
+                        m.row(p),
+                        sq_norms[p],
+                        m,
+                        sq_norms,
+                        &mut out,
+                    );
+                    out
+                })
+                .collect();
+        }
         parallel::par_flat_map_chunks(pivots, 2, |_, chunk| {
             chunk
                 .iter()
                 .map(|&p| {
                     let mut out = Vec::new();
-                    self.dense_row_to_all_cached_into(m.row(p), sq_norms[p], m, sq_norms, &mut out);
+                    self.dense_row_to_all_cached_into_with(
+                        backend,
+                        m.row(p),
+                        sq_norms[p],
+                        m,
+                        sq_norms,
+                        &mut out,
+                    );
                     out
                 })
                 .collect()
@@ -589,6 +830,185 @@ mod tests {
         Distance::Cosine.sparse_point_to_all_into(&m, 0, &norms, &mut out);
         assert_eq!(out.len(), 2);
         assert!(out[0].abs() < 1e-12);
+    }
+
+    /// The sharded indexed kernel must match the serial indexed kernel
+    /// bitwise on a pool large enough to clear the serial-fallback
+    /// threshold (the NEMO_THREADS=1 and =4 CI legs then pin both sides
+    /// of the fallback).
+    #[test]
+    fn sharded_indexed_matches_serial_bitwise() {
+        let n = MIN_SHARDED_ROWS + 1037;
+        let mut state = 7u64;
+        let mut next = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let rows: Vec<SparseVec> = (0..n)
+            .map(|_| {
+                let nnz = next(6) as usize;
+                let pairs: Vec<(u32, f32)> =
+                    (0..nnz).map(|_| (next(64) as u32, next(100) as f32 / 10.0 - 5.0)).collect();
+                SparseVec::from_pairs(pairs, 64)
+            })
+            .collect();
+        let m = CsrMatrix::from_rows(&rows, 64);
+        let norms = m.row_sq_norms();
+        let index = CscIndex::from_csr(&m);
+        let mut scratch = DistanceScratch::new();
+        let (mut serial, mut sharded) = (Vec::new(), Vec::new());
+        for dist in [Distance::Cosine, Distance::Euclidean] {
+            for pivot in [0usize, 17, n - 1] {
+                dist.sparse_point_to_all_indexed_into(
+                    &m,
+                    &index,
+                    pivot,
+                    &norms,
+                    &mut scratch,
+                    &mut serial,
+                );
+                dist.sparse_point_to_all_indexed_sharded_into(
+                    &m,
+                    &index,
+                    pivot,
+                    &norms,
+                    &mut scratch,
+                    &mut sharded,
+                );
+                assert_eq!(serial, sharded, "{dist:?} pivot {pivot}");
+            }
+        }
+    }
+
+    /// Small pools hit the serial fallback and stay bit-identical too.
+    #[test]
+    fn sharded_indexed_small_pool_fallback() {
+        let rows = vec![sv(&[(0, 1.0), (2, 1.0)], 8), sv(&[(1, 3.0)], 8), SparseVec::zeros(8)];
+        let m = CsrMatrix::from_rows(&rows, 8);
+        let norms = m.row_sq_norms();
+        let index = CscIndex::from_csr(&m);
+        let mut scratch = DistanceScratch::new();
+        let (mut serial, mut sharded) = (Vec::new(), Vec::new());
+        for pivot in 0..rows.len() {
+            Distance::Cosine.sparse_point_to_all_indexed_into(
+                &m,
+                &index,
+                pivot,
+                &norms,
+                &mut scratch,
+                &mut serial,
+            );
+            Distance::Cosine.sparse_point_to_all_indexed_sharded_into(
+                &m,
+                &index,
+                pivot,
+                &norms,
+                &mut scratch,
+                &mut sharded,
+            );
+            assert_eq!(serial, sharded);
+        }
+    }
+
+    /// Dense: blocked backend stays within the documented 1e-9 relative
+    /// tolerance of scalar, and the sharded kernel is bit-identical to the
+    /// serial kernel for the same backend.
+    #[test]
+    fn dense_backend_and_sharded_contracts() {
+        let n = MIN_SHARDED_ROWS + 33;
+        let d = 19; // not a multiple of DOT_LANES: exercises the tail
+        let mut state = 3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let rows: Vec<Vec<f32>> = (0..n).map(|_| (0..d).map(|_| next()).collect()).collect();
+        let m = DenseMatrix::from_rows(&rows);
+        let norms = m.row_sq_norms();
+        let (mut scalar, mut blocked, mut sharded) = (Vec::new(), Vec::new(), Vec::new());
+        for dist in [Distance::Cosine, Distance::Euclidean] {
+            for pivot in [0usize, n / 2] {
+                dist.dense_row_to_all_cached_into_with(
+                    DenseBackend::Scalar,
+                    m.row(pivot),
+                    norms[pivot],
+                    &m,
+                    &norms,
+                    &mut scalar,
+                );
+                dist.dense_row_to_all_cached_into_with(
+                    DenseBackend::Blocked,
+                    m.row(pivot),
+                    norms[pivot],
+                    &m,
+                    &norms,
+                    &mut blocked,
+                );
+                for (r, (&a, &b)) in scalar.iter().zip(&blocked).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                        "{dist:?} pivot {pivot} row {r}: {a} vs {b}"
+                    );
+                }
+                for backend in [DenseBackend::Blocked, DenseBackend::Scalar] {
+                    dist.dense_row_to_all_cached_into_with(
+                        backend,
+                        m.row(pivot),
+                        norms[pivot],
+                        &m,
+                        &norms,
+                        &mut blocked,
+                    );
+                    dist.dense_row_to_all_sharded_into(
+                        backend,
+                        m.row(pivot),
+                        norms[pivot],
+                        &m,
+                        &norms,
+                        &mut sharded,
+                    );
+                    assert_eq!(blocked, sharded, "{dist:?} {backend:?} pivot {pivot}");
+                }
+            }
+        }
+    }
+
+    /// Few-pivot batches route through the sharded kernels and must agree
+    /// bitwise with the pivot-partitioned path.
+    #[test]
+    fn few_pivot_batches_match_per_pivot() {
+        let rows = vec![
+            sv(&[(0, 1.0), (2, 1.0)], 8),
+            sv(&[(1, 3.0), (7, 0.5)], 8),
+            SparseVec::zeros(8),
+            sv(&[(0, 2.0), (5, 2.0)], 8),
+        ];
+        let m = CsrMatrix::from_rows(&rows, 8);
+        let norms = m.row_sq_norms();
+        let index = CscIndex::from_csr(&m);
+        for dist in [Distance::Cosine, Distance::Euclidean] {
+            // One pivot is always below num_threads() when threads > 1 and
+            // equal when threads == 1; either way the result is pinned to
+            // the per-pivot serial reference.
+            let batch = dist.sparse_point_to_all_many(&m, &norms, &[1], &index, &norms);
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0], dist.sparse_point_to_all(&m, 1, &norms));
+            let dm = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.5, 0.5], vec![0.0, 1.0]]);
+            let dnorms = dm.row_sq_norms();
+            for backend in [DenseBackend::Blocked, DenseBackend::Scalar] {
+                let batch = dist.dense_point_to_all_many_with(backend, &dm, &[2], &dnorms);
+                let mut one = Vec::new();
+                dist.dense_row_to_all_cached_into_with(
+                    backend,
+                    dm.row(2),
+                    dnorms[2],
+                    &dm,
+                    &dnorms,
+                    &mut one,
+                );
+                assert_eq!(batch[0], one, "{dist:?} {backend:?}");
+            }
+        }
     }
 
     #[test]

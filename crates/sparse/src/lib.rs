@@ -22,7 +22,7 @@ pub mod stats;
 
 pub use csc::CscIndex;
 pub use csr::{CsrMatrix, SparseVec};
-pub use dense::DenseMatrix;
+pub use dense::{DenseBackend, DenseMatrix};
 pub use distance::{Distance, DistanceScratch};
 pub use index::InvertedIndex;
 pub use rng::DetRng;

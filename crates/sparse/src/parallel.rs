@@ -207,6 +207,93 @@ where
     });
 }
 
+/// Split `items` into fixed-width `chunk_size` chunks and apply
+/// `f(base, chunk)` to every chunk (`base` = index of the chunk's first
+/// item), distributing whole chunks over workers.
+///
+/// The chunk grid depends only on `items.len()` and `chunk_size`, never on
+/// the worker count, so any per-chunk state `f` derives from `base` (shard
+/// boundaries, accumulator extents) is identical under `NEMO_THREADS=1`
+/// and `NEMO_THREADS=16`. Chunks are disjoint `&mut` regions: workers
+/// never share elements, and the serial path visits the same chunks in
+/// the same order.
+pub fn par_for_each_fixed_chunk_mut<T, F>(items: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    if items.is_empty() {
+        return;
+    }
+    let n = items.len();
+    let n_chunks = n.div_ceil(chunk_size);
+    let threads = num_threads().min(n_chunks);
+    if threads <= 1 {
+        for (c, chunk) in items.chunks_mut(chunk_size).enumerate() {
+            f(c * chunk_size, chunk);
+        }
+        return;
+    }
+    // Whole chunks per worker: region boundaries land on chunk boundaries,
+    // so the per-chunk bases a worker sees match the serial enumeration.
+    let per_worker = n_chunks.div_ceil(threads);
+    let region = per_worker * chunk_size;
+    std::thread::scope(|scope| {
+        for (w, slice) in items.chunks_mut(region).enumerate() {
+            let f = &f;
+            let base = w * region;
+            scope.spawn(move || {
+                for (c, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+                    f(base + c * chunk_size, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Two-slice variant of [`par_for_each_fixed_chunk_mut`]: `a` and `b` must
+/// be the same length and are chunked on the same fixed grid, so `f`
+/// receives matching `(base, a_chunk, b_chunk)` triples. Used by the
+/// sharded distance kernels, which update a scratch accumulator chunk and
+/// an output chunk for the same row range in one pass.
+pub fn par_for_each_fixed_chunk2_mut<A, B, F>(a: &mut [A], b: &mut [B], chunk_size: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    assert_eq!(a.len(), b.len(), "fixed-chunk slices must be the same length");
+    if a.is_empty() {
+        return;
+    }
+    let n = a.len();
+    let n_chunks = n.div_ceil(chunk_size);
+    let threads = num_threads().min(n_chunks);
+    if threads <= 1 {
+        for (c, (ca, cb)) in a.chunks_mut(chunk_size).zip(b.chunks_mut(chunk_size)).enumerate() {
+            f(c * chunk_size, ca, cb);
+        }
+        return;
+    }
+    let per_worker = n_chunks.div_ceil(threads);
+    let region = per_worker * chunk_size;
+    std::thread::scope(|scope| {
+        for (w, (ra, rb)) in a.chunks_mut(region).zip(b.chunks_mut(region)).enumerate() {
+            let f = &f;
+            let base = w * region;
+            scope.spawn(move || {
+                for (c, (ca, cb)) in
+                    ra.chunks_mut(chunk_size).zip(rb.chunks_mut(chunk_size)).enumerate()
+                {
+                    f(base + c * chunk_size, ca, cb);
+                }
+            });
+        }
+    });
+}
+
 fn effective_threads(n: usize) -> usize {
     if n < MIN_PARALLEL_ITEMS {
         1
@@ -284,6 +371,53 @@ mod tests {
         assert!(par_flat_map_chunks(&empty, 0, |_, c| c.to_vec()).is_empty());
         let mut e2: Vec<u32> = Vec::new();
         par_for_each_mut(&mut e2, |_, _| {});
+    }
+
+    #[test]
+    fn fixed_chunk_mut_visits_every_chunk_once() {
+        for n in [0usize, 1, 7, 100, 4096, 10_000] {
+            for chunk in [1usize, 3, 64, 4096] {
+                let mut items: Vec<usize> = vec![0; n];
+                par_for_each_fixed_chunk_mut(&mut items, chunk, |base, c| {
+                    // The base must sit on the fixed grid and the chunk must
+                    // be full-width except possibly the last.
+                    assert_eq!(base % chunk, 0);
+                    assert!(c.len() == chunk || base + c.len() == n);
+                    for (j, x) in c.iter_mut().enumerate() {
+                        *x += base + j + 1;
+                    }
+                });
+                for (i, &x) in items.iter().enumerate() {
+                    assert_eq!(x, i + 1, "n={n} chunk={chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_chunk2_mut_pairs_same_ranges() {
+        let n = 10_000;
+        let mut a: Vec<usize> = vec![0; n];
+        let mut b: Vec<usize> = vec![0; n];
+        par_for_each_fixed_chunk2_mut(&mut a, &mut b, 257, |base, ca, cb| {
+            assert_eq!(ca.len(), cb.len());
+            for (j, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                *x = base + j;
+                *y = 2 * (base + j);
+            }
+        });
+        for i in 0..n {
+            assert_eq!(a[i], i);
+            assert_eq!(b[i], 2 * i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn fixed_chunk2_rejects_mismatched_lengths() {
+        let mut a = [0u8; 3];
+        let mut b = [0u8; 4];
+        par_for_each_fixed_chunk2_mut(&mut a, &mut b, 2, |_, _, _| {});
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Differential property suite for the blocked dense kernel and the
+//! posting-range sharded single-pivot kernels.
+//!
+//! Two independent invariants are held here:
+//!
+//! 1. **Blocked vs scalar dense reductions** — `DenseBackend::Blocked`
+//!    accumulates dot products and squared distances in `DOT_LANES`
+//!    independent lanes, so it is *not* bit-identical to the scalar
+//!    left-to-right sum; the contract is agreement within `1e-9`
+//!    relative (the issue's documented bound) plus bitwise determinism
+//!    of each backend against itself. Inputs shorter than `DOT_LANES`
+//!    have no lane body at all and must match the scalar sum bitwise.
+//! 2. **Sharded vs unsharded single-pivot queries** — the posting-range
+//!    sharded sparse kernel and the row-block sharded dense kernel
+//!    split work on a fixed shard grid that never depends on the worker
+//!    count, so their outputs must be **bit-identical** to the serial
+//!    kernels under every `NEMO_THREADS` setting, for both backends,
+//!    over random matrices (including the below-`MIN_SHARDED_ROWS`
+//!    fallback and pools large enough to actually shard).
+//!
+//! A full-session check closes the loop: an interactive run (SEU
+//! selection + simulated user + contextualized learning) must make
+//! identical decisions under every `DistanceBackend × DenseBackend`
+//! combination, on a sparse text dataset and on a dense scene dataset.
+
+use nemo::core::config::{ContextualizerConfig, DistanceBackend, IdpConfig};
+use nemo::core::oracle::SimulatedUser;
+use nemo::core::pipeline::ContextualizedPipeline;
+use nemo::core::session::Session;
+use nemo::core::seu::SeuSelector;
+use nemo::data::catalog::{toy_scene_2d, toy_text};
+use nemo::data::Dataset;
+use nemo::sparse::dense::{self, DOT_LANES};
+use nemo::sparse::distance::MIN_SHARDED_ROWS;
+use nemo::sparse::{
+    CscIndex, CsrMatrix, DenseBackend, DenseMatrix, Distance, DistanceScratch, SparseVec,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+const DISTANCES: [Distance; 2] = [Distance::Cosine, Distance::Euclidean];
+
+/// Serializes the tests that mutate `NEMO_THREADS`. The kernels under
+/// test are thread-count-invariant (that is the property being checked),
+/// so concurrent *readers* in other tests are unaffected — the lock only
+/// keeps the mutating tests from clobbering each other's settings.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with `NEMO_THREADS` set to each value in turn, restoring the
+/// prior setting afterwards.
+fn with_thread_counts(counts: &[usize], mut f: impl FnMut(usize)) {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let saved = std::env::var("NEMO_THREADS").ok();
+    for &t in counts {
+        std::env::set_var("NEMO_THREADS", t.to_string());
+        f(t);
+    }
+    match saved {
+        Some(v) => std::env::set_var("NEMO_THREADS", v),
+        None => std::env::remove_var("NEMO_THREADS"),
+    }
+}
+
+fn matrix_from(rows: &[Vec<(u32, f32)>], dim: usize) -> CsrMatrix {
+    let svs: Vec<SparseVec> = rows.iter().map(|p| SparseVec::from_pairs(p.clone(), dim)).collect();
+    CsrMatrix::from_rows(&svs, dim)
+}
+
+// ---------------------------------------------------------------------
+// 1. Blocked vs scalar dense reductions.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Blocked dot/sq-euclidean agree with the scalar backend within the
+    /// documented 1e-9 relative bound, and each backend is bitwise
+    /// deterministic against itself.
+    #[test]
+    fn prop_blocked_matches_scalar_reductions(
+        pairs in proptest::collection::vec((-8.0f32..8.0, -8.0f32..8.0), 0..200),
+    ) {
+        let a: Vec<f32> = pairs.iter().map(|&(x, _)| x).collect();
+        let b: Vec<f32> = pairs.iter().map(|&(_, y)| y).collect();
+        let scalar_dot = DenseBackend::Scalar.dot(&a, &b);
+        let blocked_dot = DenseBackend::Blocked.dot(&a, &b);
+        prop_assert!(
+            (scalar_dot - blocked_dot).abs() <= 1e-9 * (1.0 + scalar_dot.abs()),
+            "dot diverged: scalar {scalar_dot} blocked {blocked_dot}"
+        );
+        let scalar_sq = DenseBackend::Scalar.sq_euclidean(&a, &b);
+        let blocked_sq = DenseBackend::Blocked.sq_euclidean(&a, &b);
+        prop_assert!(
+            (scalar_sq - blocked_sq).abs() <= 1e-9 * (1.0 + scalar_sq),
+            "sq_euclidean diverged: scalar {scalar_sq} blocked {blocked_sq}"
+        );
+        // Determinism: repeated calls are bitwise-stable per backend.
+        prop_assert_eq!(blocked_dot.to_bits(), DenseBackend::Blocked.dot(&a, &b).to_bits());
+        prop_assert_eq!(
+            blocked_sq.to_bits(),
+            DenseBackend::Blocked.sq_euclidean(&a, &b).to_bits()
+        );
+        // Below one lane block the blocked kernel is the scalar tail sum,
+        // bitwise — up to the sign of zero (`Iterator::sum` folds from
+        // `-0.0`, the blocked tail from `+0.0`; `x + 0.0` collapses both).
+        if a.len() < DOT_LANES {
+            prop_assert_eq!((blocked_dot + 0.0).to_bits(), (scalar_dot + 0.0).to_bits());
+            prop_assert_eq!((blocked_sq + 0.0).to_bits(), (scalar_sq + 0.0).to_bits());
+        }
+        // The free functions are the same kernels the enum dispatches to.
+        prop_assert_eq!(blocked_dot.to_bits(), dense::dot_blocked(&a, &b).to_bits());
+        prop_assert_eq!(scalar_dot.to_bits(), dense::dot(&a, &b).to_bits());
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Sharded vs unsharded single-pivot kernels.
+// ---------------------------------------------------------------------
+
+/// Deterministic pseudo-random sparse rows (xorshift-free LCG — cheap and
+/// seedable) for pools too large to proptest-generate per case.
+fn lcg_sparse_rows(n: usize, dim: u32, nnz: usize, seed: u64) -> Vec<Vec<(u32, f32)>> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..n)
+        .map(|_| {
+            (0..nnz)
+                .filter_map(|_| {
+                    let j = next() % dim;
+                    let v = (next() % 2000) as f32 / 250.0 - 4.0;
+                    (next() % 4 != 0).then_some((j, v))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Sharded sparse + dense single-pivot queries must be bit-identical to
+/// the serial kernels under every thread count, on a pool large enough
+/// to engage the fixed shard grid.
+#[test]
+fn sharded_kernels_bitwise_identical_across_thread_counts() {
+    let n = MIN_SHARDED_ROWS + 731;
+    let dim = 48u32;
+    let rows = lcg_sparse_rows(n, dim, 5, 0x5eed);
+    let m = matrix_from(&rows, dim as usize);
+    let norms = m.row_sq_norms();
+    let index = CscIndex::from_csr(&m);
+
+    // Dense mirror of the same pool (densified rows).
+    let dense_rows: Vec<Vec<f32>> = rows
+        .iter()
+        .map(|r| {
+            let mut v = vec![0.0f32; dim as usize];
+            for &(j, x) in r {
+                v[j as usize] += x;
+            }
+            v
+        })
+        .collect();
+    let dm = DenseMatrix::from_rows(&dense_rows);
+    let d_norms = dm.row_sq_norms();
+
+    let pivots = [0usize, 99, n - 1];
+    for dist in DISTANCES {
+        // Serial references, computed once outside any env mutation.
+        let mut scratch = DistanceScratch::new();
+        let sparse_ref: Vec<Vec<f64>> = pivots
+            .iter()
+            .map(|&p| {
+                let mut out = Vec::new();
+                dist.sparse_point_to_all_indexed_into(
+                    &m,
+                    &index,
+                    p,
+                    &norms,
+                    &mut scratch,
+                    &mut out,
+                );
+                out
+            })
+            .collect();
+        let dense_ref: Vec<Vec<Vec<f64>>> = [DenseBackend::Scalar, DenseBackend::Blocked]
+            .iter()
+            .map(|&be| {
+                pivots
+                    .iter()
+                    .map(|&p| {
+                        let mut out = Vec::new();
+                        dist.dense_row_to_all_cached_into_with(
+                            be,
+                            dm.row(p),
+                            d_norms[p],
+                            &dm,
+                            &d_norms,
+                            &mut out,
+                        );
+                        out
+                    })
+                    .collect()
+            })
+            .collect();
+
+        with_thread_counts(&[1, 2, 3, 4, 8], |t| {
+            let mut scratch = DistanceScratch::new();
+            let mut out = Vec::new();
+            for (k, &p) in pivots.iter().enumerate() {
+                dist.sparse_point_to_all_indexed_sharded_into(
+                    &m,
+                    &index,
+                    p,
+                    &norms,
+                    &mut scratch,
+                    &mut out,
+                );
+                assert_eq!(out.len(), sparse_ref[k].len());
+                for (r, (&got, &want)) in out.iter().zip(&sparse_ref[k]).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{dist:?} NEMO_THREADS={t} pivot {p} row {r}: sharded {got} serial {want}"
+                    );
+                }
+                for (bi, &be) in [DenseBackend::Scalar, DenseBackend::Blocked].iter().enumerate() {
+                    dist.dense_row_to_all_sharded_into(
+                        be,
+                        dm.row(p),
+                        d_norms[p],
+                        &dm,
+                        &d_norms,
+                        &mut out,
+                    );
+                    for (r, (&got, &want)) in out.iter().zip(&dense_ref[bi][k]).enumerate() {
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "{dist:?} {} NEMO_THREADS={t} pivot {p} row {r}: dense sharded diverged",
+                            be.name()
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random base rows tiled past `MIN_SHARDED_ROWS` with a random
+    /// thread count: the sharded sparse kernel stays bit-identical to
+    /// the serial one (and the small un-tiled pool exercises the serial
+    /// fallback with the same assertion).
+    #[test]
+    fn prop_sharded_sparse_bitwise_any_thread_count(
+        base in proptest::collection::vec(
+            proptest::collection::vec((0u32..32, -4.0f32..4.0), 0..5), 1..16),
+        threads in 1usize..9,
+        pivot_pick in 0usize..1024,
+    ) {
+        let tiled: Vec<Vec<(u32, f32)>> = (0..MIN_SHARDED_ROWS + 257)
+            .map(|i| base[i % base.len()].clone())
+            .collect();
+        for rows in [&base, &tiled] {
+            let m = matrix_from(rows, 32);
+            let norms = m.row_sq_norms();
+            let index = CscIndex::from_csr(&m);
+            let pivot = pivot_pick % m.n_rows();
+            let mut scratch = DistanceScratch::new();
+            let (mut serial, mut sharded) = (Vec::new(), Vec::new());
+            for dist in DISTANCES {
+                dist.sparse_point_to_all_indexed_into(
+                    &m, &index, pivot, &norms, &mut scratch, &mut serial);
+                with_thread_counts(&[threads], |_| {
+                    dist.sparse_point_to_all_indexed_sharded_into(
+                        &m, &index, pivot, &norms, &mut scratch, &mut sharded);
+                });
+                prop_assert_eq!(serial.len(), sharded.len());
+                for (r, (&a, &b)) in serial.iter().zip(&sharded).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "{:?} threads {} pivot {} row {}: serial {} sharded {}",
+                        dist, threads, pivot, r, a, b
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Full-session differential across every new switch combination.
+// ---------------------------------------------------------------------
+
+/// One full run: per-round selections, per-round tuned `p`, final scores.
+#[derive(PartialEq, Debug)]
+struct Trace {
+    selections: Vec<Option<usize>>,
+    chosen_ps: Vec<Option<f64>>,
+    test_score: f64,
+    valid_score: f64,
+}
+
+fn run(ds: &Dataset, backend: DistanceBackend, dense_backend: DenseBackend, seed: u64) -> Trace {
+    let config = IdpConfig { n_iterations: 8, eval_every: 4, seed, ..Default::default() };
+    let mut session = Session::new(ds, config);
+    let mut selector = SeuSelector::new();
+    let mut user = SimulatedUser::default();
+    let mut pipeline = ContextualizedPipeline::new(ContextualizerConfig {
+        backend,
+        dense_backend,
+        ..Default::default()
+    });
+    let mut selections = Vec::new();
+    let mut chosen_ps = Vec::new();
+    for _ in 0..8 {
+        let rec = session.step(&mut selector, &mut user, &mut pipeline);
+        selections.push(rec.selected);
+        chosen_ps.push(session.outputs().chosen_p);
+    }
+    Trace {
+        selections,
+        chosen_ps,
+        test_score: session.test_score(),
+        valid_score: session.valid_score(),
+    }
+}
+
+/// Every `DistanceBackend × DenseBackend` combination drives the same
+/// interactive session: identical selections, identical tuned
+/// percentiles, identical final scores — on the sparse text dataset
+/// (where the dense backend is inert) and on the dense 2-D scene dataset
+/// (whose 2-dim rows sit entirely in the blocked kernel's scalar tail,
+/// so even Blocked is bitwise-equal there).
+#[test]
+fn full_session_identical_across_switch_combos() {
+    for ds in [toy_text(1), toy_scene_2d(1)] {
+        let reference = run(&ds, DistanceBackend::Indexed, DenseBackend::Blocked, 7);
+        assert!(
+            reference.chosen_ps.iter().any(Option::is_some),
+            "{}: contextualizer never tuned p",
+            ds.name
+        );
+        for backend in [DistanceBackend::Indexed, DistanceBackend::Naive] {
+            for dense_backend in [DenseBackend::Blocked, DenseBackend::Scalar] {
+                let trace = run(&ds, backend, dense_backend, 7);
+                assert_eq!(
+                    trace,
+                    reference,
+                    "{}: {:?} × {} diverged from the production combo",
+                    ds.name,
+                    backend,
+                    dense_backend.name()
+                );
+            }
+        }
+    }
+}
+
+/// The session combo sweep again, under a multi-worker thread setting —
+/// the sharded kernels must not perturb an interactive run.
+#[test]
+fn full_session_stable_under_thread_counts() {
+    let ds = toy_text(2);
+    let reference = run(&ds, DistanceBackend::Indexed, DenseBackend::Blocked, 3);
+    with_thread_counts(&[4], |_| {
+        let multi = run(&ds, DistanceBackend::Indexed, DenseBackend::Blocked, 3);
+        assert_eq!(multi, reference, "NEMO_THREADS=4 session diverged from the ambient run");
+    });
+}
