@@ -30,6 +30,7 @@ use nemo_data::catalog::{build, DatasetName, Profile};
 use nemo_data::Dataset;
 use nemo_labelmodel::{FittedLabelModel, GenerativeModel, LabelModel, TripletModel};
 use nemo_lf::{LabelMatrix, Lineage, PrimitiveLf};
+use nemo_persist::{artifact_to_bytes, load_artifact, save_artifact, ArtifactBundle};
 use nemo_sparse::distance::MIN_SHARDED_ROWS;
 use nemo_sparse::{
     CscIndex, CsrMatrix, DenseBackend, DenseMatrix, DetRng, Distance, DistanceScratch, SparseVec,
@@ -1323,6 +1324,72 @@ fn indexed_sharded_bench(results: &mut Vec<BenchResult>) -> String {
     json
 }
 
+/// Dataset artifact store: cold catalog rebuild (tokenize, featurize,
+/// index, norm — everything `catalog::build` does) vs reloading the same
+/// immutable artifact set from a checkpoint file written once by
+/// `nemo-persist`. The loaded bundle is asserted byte-identical to the
+/// saved one before timing; with `NEMO_BENCH_ENFORCE` set, the checkpoint
+/// load must be ≥5× faster than the cold build — the number that makes
+/// disconnect/resume sessions feel instant.
+fn artifact_load_bench(profile: Profile, results: &mut Vec<BenchResult>) -> String {
+    let cold = bench("artifact_cold_build", || build(DatasetName::Amazon, profile, 3).train.n());
+
+    let bundle = ArtifactBundle {
+        dataset: build(DatasetName::Amazon, profile, 3),
+        vocab: None,
+        tfidf: None,
+    };
+    let dir = std::env::temp_dir().join(format!("nemo-bench-artifact-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create artifact scratch dir");
+    let path = dir.join("amazon.nemo");
+    save_artifact(&path, &bundle).expect("save dataset artifact");
+    let file_bytes = std::fs::metadata(&path).expect("stat artifact file").len();
+
+    // The reloaded bundle must be bit-identical to what was saved (the
+    // canonical-form fixed point `persist_roundtrip.rs` proves in general).
+    let reloaded = load_artifact(&path).expect("load dataset artifact");
+    assert_eq!(
+        artifact_to_bytes(&reloaded),
+        artifact_to_bytes(&bundle),
+        "artifact load not bit-identical to the saved bundle"
+    );
+
+    let load = bench("artifact_checkpoint_load", || {
+        load_artifact(&path).expect("load artifact").dataset.train.n()
+    });
+    std::fs::remove_dir_all(&dir).ok();
+
+    let speedup = cold.mean_ns / load.mean_ns;
+    println!(
+        "\nDataset artifact store ({} {}, {:.1} KiB on disk):",
+        bundle.dataset.name,
+        profile.name(),
+        file_bytes as f64 / 1024.0
+    );
+    println!("  cold catalog build     : {} per build", human(cold.mean_ns));
+    println!("  checkpoint load        : {} per load", human(load.mean_ns));
+    println!("  speedup                : {speedup:.2}x");
+    if std::env::var("NEMO_BENCH_ENFORCE").is_ok() {
+        // Gate on min (steady-state) times like the other sections.
+        assert!(
+            load.min_ns * 5.0 <= cold.min_ns,
+            "regression: artifact checkpoint load ({}) not ≥5x faster than cold build ({})",
+            human(load.min_ns),
+            human(cold.min_ns)
+        );
+    }
+    let json = format!(
+        concat!(
+            "{{\"dataset\": \"{}\", \"file_bytes\": {}, \"cold_build_ns\": {:.0}, ",
+            "\"checkpoint_load_ns\": {:.0}, \"speedup\": {:.4}, \"bit_identical\": true}}"
+        ),
+        bundle.dataset.name, file_bytes, cold.mean_ns, load.mean_ns, speedup,
+    );
+    results.push(cold);
+    results.push(load);
+    json
+}
+
 /// Mean time of a named kernel result (panics if the kernel wasn't run).
 fn mean_of(results: &[BenchResult], name: &str) -> f64 {
     results.iter().find(|r| r.name == name).map(|r| r.mean_ns).expect("kernel benched")
@@ -1397,6 +1464,7 @@ fn main() {
     let dense_blocked_json = dense_blocked_bench(&mut results);
     let dense_sharded_json = dense_sharded_bench(&mut results);
     let indexed_sharded_json = indexed_sharded_bench(&mut results);
+    let artifact_json = artifact_load_bench(profile, &mut results);
     let loop_json = seu_loop_bench(&ds, &trajectory);
     let (dirty_json, seu_full_round_ns, seu_dirty_round_ns) = seu_dirty_bench(&ds, &trajectory);
     let refine_json = refine_cache_bench(&ds, &session_lineage, &mut results);
@@ -1469,6 +1537,7 @@ fn main() {
     json.push_str(&format!("  \"dense_blocked\": {dense_blocked_json},\n"));
     json.push_str(&format!("  \"dense_sharded\": {dense_sharded_json},\n"));
     json.push_str(&format!("  \"indexed_sharded\": {indexed_sharded_json},\n"));
+    json.push_str(&format!("  \"artifact_load\": {artifact_json},\n"));
     json.push_str(&format!("  \"seu_loop\": {loop_json},\n"));
     json.push_str(&format!("  \"seu_dirty\": {dirty_json},\n"));
     json.push_str(&format!("  \"refine_cache\": {refine_json},\n"));

@@ -273,6 +273,12 @@ pub struct IdpConfig {
     pub lfs_per_iteration: usize,
     /// Master seed for the run.
     pub seed: u64,
+    /// Snapshot cadence for crash recovery: `Some(k)` asks the driver to
+    /// persist a [`crate::checkpoint::SessionCheckpoint`] every `k`
+    /// completed iterations ([`crate::Session::checkpoint_due`] reports
+    /// when). `None` (the default) disables periodic checkpointing; the
+    /// knob never affects learning behaviour, only when snapshots happen.
+    pub checkpoint_every: Option<usize>,
 }
 
 impl Default for IdpConfig {
@@ -284,6 +290,7 @@ impl Default for IdpConfig {
             end_model: LogRegConfig::default(),
             lfs_per_iteration: 1,
             seed: 0,
+            checkpoint_every: None,
         }
     }
 }
@@ -314,6 +321,7 @@ mod tests {
         assert_eq!(cfg.eval_every, 5);
         assert_eq!(cfg.lfs_per_iteration, 1);
         assert_eq!(cfg.label_model, LabelModelKind::Metal);
+        assert_eq!(cfg.checkpoint_every, None);
     }
 
     #[test]

@@ -228,6 +228,9 @@ impl Contextualizer {
         };
         let sorted: Vec<Vec<f64>> = par_map_min(&train_ds, 2, |_, d: &Vec<f64>| {
             let mut s = d.clone();
+            // invariant: distances are finite — both kernels compute
+            // sums/square roots of finite feature values, and
+            // `Features` validates its buffers (finite norms) on import.
             s.sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
             s
         });
@@ -283,6 +286,8 @@ impl Contextualizer {
 
     /// Refined training matrix at percentile `p`.
     pub fn refined_train_matrix(&self, raw: &LabelMatrix, p: f64) -> LabelMatrix {
+        // invariant: callers pass the matrix aligned with the lineage this
+        // contextualizer was synced against (documented expert API).
         assert_eq!(raw.n_lfs(), self.n_registered(), "matrix/lineage mismatch");
         let mut out = LabelMatrix::new(raw.n_examples());
         for (j, col) in raw.columns().enumerate() {
@@ -326,6 +331,8 @@ impl Contextualizer {
         raw_train: &LabelMatrix,
         n_valid: usize,
     ) -> (Vec<LabelMatrix>, Vec<LabelMatrix>) {
+        // invariant: same matrix/lineage alignment contract as
+        // `refined_train_matrix`.
         assert_eq!(raw_train.n_lfs(), self.n_registered(), "matrix/lineage mismatch");
         let p_grid = self.config.p_grid.clone();
         if self.config.refinement == RefinementCaching::Rebuild {
@@ -399,6 +406,8 @@ impl Contextualizer {
                 // Serve by handle: a refcount bump per column, never a
                 // vote memcpy — warm rounds assemble every grid matrix
                 // in O(1) per column.
+                // invariant: the miss branch directly above filled
+                // this slot before falling through.
                 let entry = self.refined_cache[k][j].as_ref().expect("slot populated above");
                 train_m.push_shared(Arc::clone(&entry.train));
                 valid_m.push_shared(Arc::clone(&entry.valid));
@@ -473,6 +482,8 @@ impl Contextualizer {
         label_model: &dyn LabelModel,
         prior: [f64; 2],
     ) -> TunedRefinement {
+        // invariant: an empty grid is a construction-time configuration
+        // bug, not a runtime state; documented panic.
         assert!(!self.config.p_grid.is_empty(), "empty percentile grid");
         let warm = self.config.warm_start == WarmStart::Warm;
         let dedup_scores = self.config.posterior_dedup == PosteriorDedup::Class;
@@ -615,6 +626,8 @@ impl Contextualizer {
         if widest_k.is_none() {
             for k in 0..p_grid.len() {
                 if score_repr[k] == k {
+                    // invariant: every grid point was fitted (or aliased
+                    // to a fitted representative) in the loop above.
                     let fit = fitted[k].as_ref().expect("fitted");
                     self.tune_predicts += 1;
                     scores[k] = fit.score_log_likelihood(&valid_matrices[k], &ds.valid.labels);
@@ -643,6 +656,8 @@ impl Contextualizer {
         TunedRefinement {
             p: p_grid[best_k],
             train_matrix: matrices.swap_remove(best_k),
+            // invariant: `best_k` indexes a fitted representative —
+            // ties resolve to fitted slots and no take() precedes this.
             fitted: fitted[best_k].take().expect("fitted"),
             valid_score: scores[best_k],
         }

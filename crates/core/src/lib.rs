@@ -19,8 +19,10 @@
 //! learning), the simulated user [`oracle`] (Sec. 5.1), the ergonomic
 //! [`system`] facade, and the multi-LF extension of Sec. 7 ([`multi_lf`]).
 
+pub mod checkpoint;
 pub mod config;
 pub mod contextualizer;
+pub mod error;
 pub mod idp;
 pub mod multi_lf;
 pub mod oracle;
@@ -31,8 +33,10 @@ pub mod system;
 pub mod user_model;
 pub mod utility;
 
+pub use checkpoint::SessionCheckpoint;
 pub use config::{ContextualizerConfig, IdpConfig, LabelModelKind};
 pub use contextualizer::Contextualizer;
+pub use error::{RestoreError, SessionError};
 pub use idp::{IdpSession, LearningCurve, ModelOutputs, RandomSelector, SelectionView, Selector};
 pub use oracle::{FallbackPolicy, NoisyUser, SimulatedUser, User};
 pub use pipeline::{ContextualizedPipeline, LearningPipeline, StandardPipeline};

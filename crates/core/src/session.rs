@@ -21,13 +21,16 @@
 //! (the suggest/submit frontend API), and through them every baseline in
 //! `nemo-baselines` — so every selector sees the same cached state.
 
+use crate::checkpoint::SessionCheckpoint;
 use crate::config::IdpConfig;
+use crate::error::{RestoreError, SessionError};
 use crate::idp::{ModelOutputs, SelectionView, Selector, StepRecord};
 use crate::oracle::User;
 use crate::pipeline::LearningPipeline;
 use crate::utility::PrimAgg;
 use nemo_data::Dataset;
-use nemo_lf::{LabelMatrix, LfColumn, Lineage, PrimitiveLf};
+use nemo_labelmodel::Posterior;
+use nemo_lf::{Label, LabelMatrix, LfColumn, Lineage, PrimitiveLf};
 use nemo_sparse::DetRng;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -446,9 +449,20 @@ impl<'a> Session<'a> {
 
     /// IDP stage 1: run a selector over the current view. The returned
     /// example is excluded from the pool and reserved until
-    /// [`Session::submit`] or [`Session::skip`] resolves it.
-    pub fn select_with(&mut self, selector: &mut dyn Selector) -> Option<usize> {
-        assert!(self.pending.is_none(), "previous suggestion not yet resolved");
+    /// [`Session::submit`] or [`Session::skip`] resolves it
+    /// (`Ok(None)` when the pool is exhausted).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::SuggestionPending`] if a previous suggestion has
+    /// not been resolved yet.
+    pub fn select_with(
+        &mut self,
+        selector: &mut dyn Selector,
+    ) -> Result<Option<usize>, SessionError> {
+        if let Some(pending) = self.pending {
+            return Err(SessionError::SuggestionPending { pending });
+        }
         // Field-level borrows (rather than `self.view()`) so the selector
         // can take the RNG mutably alongside the read-only view.
         let view = SelectionView {
@@ -460,10 +474,12 @@ impl<'a> Session<'a> {
             iteration: self.iteration,
             aggs: Some(&self.cache),
         };
-        let x = selector.select(&view, &mut self.rng)?;
+        let Some(x) = selector.select(&view, &mut self.rng) else {
+            return Ok(None);
+        };
         self.excluded[x] = true;
         self.pending = Some(x);
-        Some(x)
+        Ok(Some(x))
     }
 
     /// IDP stage 2: query a user for LF(s) on example `x`, honoring the
@@ -479,33 +495,68 @@ impl<'a> Session<'a> {
     /// IDP stages 2–3: record LFs written from the pending example, then
     /// re-learn and re-sync the aggregates. An empty `lfs` behaves like
     /// [`Session::skip`] (the iteration is still consumed).
-    pub fn submit(&mut self, lfs: Vec<PrimitiveLf>, pipeline: &mut dyn LearningPipeline) {
-        let dev = self.pending.take().expect("submit without a pending suggestion") as u32;
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoPendingSuggestion`] without a pending suggestion;
+    /// [`SessionError::PrimitiveOutOfDomain`] if any LF references a
+    /// primitive outside the dataset's domain. On error no state changes:
+    /// the pending suggestion stays reserved and nothing is recorded.
+    pub fn submit(
+        &mut self,
+        lfs: Vec<PrimitiveLf>,
+        pipeline: &mut dyn LearningPipeline,
+    ) -> Result<(), SessionError> {
+        if self.pending.is_none() {
+            return Err(SessionError::NoPendingSuggestion);
+        }
+        // Validate every LF before touching any state, so a rejected
+        // submission leaves the session exactly as it was.
+        for lf in &lfs {
+            if lf.z as usize >= self.ds.n_primitives {
+                return Err(SessionError::PrimitiveOutOfDomain {
+                    z: lf.z,
+                    n_primitives: self.ds.n_primitives,
+                });
+            }
+        }
+        // invariant: checked Some above.
+        let dev = self.pending.take().expect("pending checked above") as u32;
         for lf in lfs {
-            assert!(
-                (lf.z as usize) < self.ds.n_primitives,
-                "LF primitive {} outside the domain",
-                lf.z
-            );
             self.lineage.record(lf, dev, self.iteration as u32);
             self.matrix.push(LfColumn::from_lf(&lf, &self.ds.train.corpus));
         }
         self.relearn(pipeline);
+        Ok(())
     }
 
     /// Decline to write an LF for the pending example; models advance
     /// unchanged (the iteration is still consumed, as in the paper's
     /// fixed-budget protocol).
-    pub fn skip(&mut self, pipeline: &mut dyn LearningPipeline) {
-        self.pending.take().expect("skip without a pending suggestion");
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoPendingSuggestion`] without a pending suggestion.
+    pub fn skip(&mut self, pipeline: &mut dyn LearningPipeline) -> Result<(), SessionError> {
+        if self.pending.take().is_none() {
+            return Err(SessionError::NoPendingSuggestion);
+        }
         self.relearn(pipeline);
+        Ok(())
     }
 
     /// Consume one iteration with the pool exhausted and the model frozen
     /// (the `NemoSystem::run_with_user` tail behaviour).
-    pub fn advance_frozen(&mut self) {
-        assert!(self.pending.is_none(), "previous suggestion not yet resolved");
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::SuggestionPending`] if a suggestion is unresolved.
+    pub fn advance_frozen(&mut self) -> Result<(), SessionError> {
+        if let Some(pending) = self.pending {
+            return Err(SessionError::SuggestionPending { pending });
+        }
         self.iteration += 1;
+        Ok(())
     }
 
     /// IDP stage 3: re-learn from the collected LFs, advance the
@@ -532,11 +583,15 @@ impl<'a> Session<'a> {
         pipeline: &mut dyn LearningPipeline,
     ) -> StepRecord {
         let iteration = self.iteration;
-        let selected = self.select_with(selector);
+        // invariant: step resolves every suggestion it makes, so the
+        // protocol state machine cannot be violated from here.
+        let selected = self.select_with(selector).expect("step never leaves a suggestion pending");
         let new_lfs = match selected {
             Some(x) => {
                 let lfs = self.develop(x, user);
-                self.submit(lfs.clone(), pipeline);
+                // invariant: `x` was just reserved and `develop` returns
+                // in-domain primitives (the user sees only real ones).
+                self.submit(lfs.clone(), pipeline).expect("step submits its own suggestion");
                 lfs
             }
             None => {
@@ -570,6 +625,148 @@ impl<'a> Session<'a> {
     pub fn valid_score(&self) -> f64 {
         self.ds.metric.score(&self.outputs.valid_pred, &self.ds.valid.labels)
     }
+
+    /// Whether the configured checkpoint cadence says a snapshot is due
+    /// now (`checkpoint_every` iterations completed since the last
+    /// multiple; never due at iteration 0 or when the knob is unset).
+    pub fn checkpoint_due(&self) -> bool {
+        match self.config.checkpoint_every {
+            Some(k) if k > 0 => self.iteration > 0 && self.iteration % k == 0,
+            _ => false,
+        }
+    }
+
+    /// Snapshot the session's authoritative state (see
+    /// [`crate::checkpoint::SessionCheckpoint`] for what is captured vs
+    /// deterministically rebuilt on restore). `warm_seeds` is left empty —
+    /// the contextualizer belongs to the pipeline, so
+    /// [`crate::NemoSystem::checkpoint`] fills it in.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        let (rng_state, rng_gauss_spare) = self.rng.raw_state();
+        SessionCheckpoint {
+            config: self.config.clone(),
+            iteration: self.iteration,
+            pending: self.pending,
+            lineage: self.lineage.tracked().to_vec(),
+            columns: self.matrix.columns().map(|c| c.entries().to_vec()).collect(),
+            excluded: self.excluded.clone(),
+            train_p_pos: self.outputs.train_posterior.p_pos_slice().to_vec(),
+            train_probs: self.outputs.train_probs.clone(),
+            valid_pred: self.outputs.valid_pred.iter().map(|l| l.sign()).collect(),
+            test_pred: self.outputs.test_pred.iter().map(|l| l.sign()).collect(),
+            chosen_p: self.outputs.chosen_p,
+            rng_state,
+            rng_gauss_spare,
+            warm_seeds: Vec::new(),
+        }
+    }
+
+    /// Rebuild a session from a checkpoint against `ds`.
+    ///
+    /// Every field is validated against the dataset before any state is
+    /// built, so a checkpoint from an untrusted file is rejected with a
+    /// typed [`RestoreError`] rather than panicking or producing a
+    /// session that violates its invariants. On success the session's
+    /// observable behaviour is identical to the one that produced the
+    /// checkpoint: same lineage and matrix, bit-identical model outputs
+    /// and RNG stream, and a freshly rebuilt (exact) SEU aggregate cache.
+    pub fn restore(ds: &'a Dataset, ckpt: &SessionCheckpoint) -> Result<Self, RestoreError> {
+        let n_train = ds.train.n();
+        let expect_len = |field, expected: usize, actual: usize| {
+            if expected == actual {
+                Ok(())
+            } else {
+                Err(RestoreError::LengthMismatch { field, expected, actual })
+            }
+        };
+        expect_len("excluded", n_train, ckpt.excluded.len())?;
+        expect_len("train_p_pos", n_train, ckpt.train_p_pos.len())?;
+        expect_len("train_probs", n_train, ckpt.train_probs.len())?;
+        expect_len("valid_pred", ds.valid.n(), ckpt.valid_pred.len())?;
+        expect_len("test_pred", ds.test.n(), ckpt.test_pred.len())?;
+
+        let unit_interval = |field, values: &[f64]| {
+            if values.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)) {
+                Ok(())
+            } else {
+                Err(RestoreError::ValueOutOfRange { field })
+            }
+        };
+        unit_interval("train_p_pos", &ckpt.train_p_pos)?;
+        unit_interval("train_probs", &ckpt.train_probs)?;
+        if let Some(p) = ckpt.chosen_p {
+            if !p.is_finite() {
+                return Err(RestoreError::ValueOutOfRange { field: "chosen_p" });
+            }
+        }
+        let signs_to_labels = |field, signs: &[i8]| {
+            signs
+                .iter()
+                .map(|&s| Label::from_sign(s).ok_or(RestoreError::ValueOutOfRange { field }))
+                .collect::<Result<Vec<Label>, RestoreError>>()
+        };
+        let valid_pred = signs_to_labels("valid_pred", &ckpt.valid_pred)?;
+        let test_pred = signs_to_labels("test_pred", &ckpt.test_pred)?;
+
+        for (j, rec) in ckpt.lineage.iter().enumerate() {
+            if rec.lf.z as usize >= ds.n_primitives || rec.dev_example as usize >= n_train {
+                return Err(RestoreError::LineageOutOfDomain { lf: j });
+            }
+        }
+        if ckpt.columns.len() != ckpt.lineage.len() {
+            return Err(RestoreError::ColumnArity {
+                expected: ckpt.lineage.len(),
+                actual: ckpt.columns.len(),
+            });
+        }
+        let mut matrix = LabelMatrix::new(n_train);
+        for (j, entries) in ckpt.columns.iter().enumerate() {
+            if entries.iter().any(|&(i, _)| i as usize >= n_train) {
+                return Err(RestoreError::MalformedColumn {
+                    lf: j,
+                    reason: "entry references an example outside the training split",
+                });
+            }
+            let col = LfColumn::try_new(entries.clone())
+                .map_err(|reason| RestoreError::MalformedColumn { lf: j, reason })?;
+            matrix.push(col);
+        }
+
+        if let Some(x) = ckpt.pending {
+            if x >= n_train || !ckpt.excluded[x] {
+                return Err(RestoreError::InvalidPending);
+            }
+        }
+        let rng = DetRng::from_raw_state(ckpt.rng_state, ckpt.rng_gauss_spare)
+            .ok_or(RestoreError::DegenerateRngState)?;
+
+        let mut lineage = Lineage::new();
+        for rec in &ckpt.lineage {
+            lineage.record(rec.lf, rec.dev_example, rec.iteration);
+        }
+        // `Posterior::new` clamps to [0, 1]; the range check above makes
+        // the clamp an identity, so the persisted bits survive intact.
+        let outputs = ModelOutputs {
+            train_posterior: Posterior::new(ckpt.train_p_pos.clone()),
+            train_probs: ckpt.train_probs.clone(),
+            valid_pred,
+            test_pred,
+            chosen_p: ckpt.chosen_p,
+        };
+        let cache = SeuAggregates::new(ds, &outputs);
+        Ok(Self {
+            rng,
+            lineage,
+            matrix,
+            excluded: ckpt.excluded.clone(),
+            iteration: ckpt.iteration,
+            pending: ckpt.pending,
+            outputs,
+            cache,
+            ds,
+            config: ckpt.config.clone(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -591,32 +788,62 @@ mod tests {
         let mut s = Session::new(&ds, cfg(10, 1));
         let mut selector = RandomSelector;
         let mut pipeline = StandardPipeline;
-        let x = s.select_with(&mut selector).expect("pool non-empty");
+        let x = s.select_with(&mut selector).unwrap().expect("pool non-empty");
         assert_eq!(s.pending(), Some(x));
         let z = ds.train.corpus.primitives_of(x)[0];
-        s.submit(vec![PrimitiveLf::new(z, nemo_lf::Label::Pos)], &mut pipeline);
+        s.submit(vec![PrimitiveLf::new(z, nemo_lf::Label::Pos)], &mut pipeline).unwrap();
         assert_eq!(s.lineage().len(), 1);
         assert_eq!(s.iteration(), 1);
         assert_eq!(s.pending(), None);
     }
 
     #[test]
-    #[should_panic(expected = "not yet resolved")]
-    fn double_select_panics() {
+    fn double_select_is_an_error() {
         let ds = toy_text(1);
         let mut s = Session::new(&ds, cfg(10, 2));
         let mut selector = RandomSelector;
-        s.select_with(&mut selector).unwrap();
-        s.select_with(&mut selector);
+        let x = s.select_with(&mut selector).unwrap().unwrap();
+        assert_eq!(
+            s.select_with(&mut selector),
+            Err(crate::error::SessionError::SuggestionPending { pending: x })
+        );
+        // The reservation survives the failed call.
+        assert_eq!(s.pending(), Some(x));
     }
 
     #[test]
-    #[should_panic(expected = "pending")]
-    fn submit_without_select_panics() {
+    fn submit_without_select_is_an_error() {
         let ds = toy_text(1);
         let mut s = Session::new(&ds, cfg(10, 3));
         let mut pipeline = StandardPipeline;
-        s.submit(vec![PrimitiveLf::new(0, nemo_lf::Label::Pos)], &mut pipeline);
+        assert_eq!(
+            s.submit(vec![PrimitiveLf::new(0, nemo_lf::Label::Pos)], &mut pipeline),
+            Err(crate::error::SessionError::NoPendingSuggestion)
+        );
+        assert_eq!(s.skip(&mut pipeline), Err(crate::error::SessionError::NoPendingSuggestion));
+        assert_eq!(s.iteration(), 0);
+    }
+
+    #[test]
+    fn out_of_domain_submit_rejected_without_state_change() {
+        let ds = toy_text(1);
+        let mut s = Session::new(&ds, cfg(10, 3));
+        let mut selector = RandomSelector;
+        let mut pipeline = StandardPipeline;
+        let x = s.select_with(&mut selector).unwrap().unwrap();
+        let bad = PrimitiveLf::new(ds.n_primitives as u32, nemo_lf::Label::Pos);
+        assert_eq!(
+            s.submit(vec![bad], &mut pipeline),
+            Err(crate::error::SessionError::PrimitiveOutOfDomain {
+                z: ds.n_primitives as u32,
+                n_primitives: ds.n_primitives
+            })
+        );
+        // Nothing recorded, suggestion still pending and resolvable.
+        assert_eq!(s.lineage().len(), 0);
+        assert_eq!(s.pending(), Some(x));
+        s.skip(&mut pipeline).unwrap();
+        assert_eq!(s.iteration(), 1);
     }
 
     #[test]
@@ -668,7 +895,7 @@ mod tests {
         let mut selector = RandomSelector;
         let mut pipeline = StandardPipeline;
         s.select_with(&mut selector).unwrap();
-        s.submit(Vec::new(), &mut pipeline);
+        s.submit(Vec::new(), &mut pipeline).unwrap();
         assert_eq!(s.lineage().len(), 0);
         assert_eq!(s.iteration(), 1);
     }
@@ -677,8 +904,141 @@ mod tests {
     fn advance_frozen_only_bumps_iteration() {
         let ds = toy_text(1);
         let mut s = Session::new(&ds, cfg(10, 6));
-        s.advance_frozen();
+        s.advance_frozen().unwrap();
         assert_eq!(s.iteration(), 1);
         assert_eq!(s.lineage().len(), 0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_restore() {
+        let ds = toy_text(1);
+        let mut s = Session::new(&ds, cfg(12, 7));
+        let mut selector = SeuSelector::new();
+        let mut user = SimulatedUser::default();
+        let mut pipeline = StandardPipeline;
+        for _ in 0..4 {
+            s.step(&mut selector, &mut user, &mut pipeline);
+        }
+        let ckpt = s.checkpoint();
+        let r = Session::restore(&ds, &ckpt).expect("valid checkpoint restores");
+        assert_eq!(r.iteration(), s.iteration());
+        assert_eq!(r.lineage().tracked(), s.lineage().tracked());
+        assert_eq!(r.matrix(), s.matrix());
+        assert_eq!(
+            r.outputs().train_posterior.p_pos_slice(),
+            s.outputs().train_posterior.p_pos_slice()
+        );
+        assert_eq!(r.outputs().train_probs, s.outputs().train_probs);
+        assert_eq!(r.outputs().valid_pred, s.outputs().valid_pred);
+        assert_eq!(r.outputs().chosen_p, s.outputs().chosen_p);
+        // The restored cache is an exact full rebuild of the same state.
+        assert_eq!(r.aggregates().aggs().len(), s.aggregates().aggs().len());
+        for (a, b) in r.aggregates().aggs().iter().zip(s.aggregates().aggs()) {
+            assert_eq!(a.df, b.df);
+            assert_eq!(a.n_pos, b.n_pos);
+        }
+    }
+
+    #[test]
+    fn checkpoint_preserves_pending_reservation() {
+        let ds = toy_text(1);
+        let mut s = Session::new(&ds, cfg(10, 8));
+        let mut selector = RandomSelector;
+        let mut pipeline = StandardPipeline;
+        let x = s.select_with(&mut selector).unwrap().unwrap();
+        let ckpt = s.checkpoint();
+        let mut r = Session::restore(&ds, &ckpt).unwrap();
+        assert_eq!(r.pending(), Some(x));
+        r.skip(&mut pipeline).unwrap();
+        assert_eq!(r.iteration(), 1);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_checkpoints() {
+        use crate::error::RestoreError;
+        let ds = toy_text(1);
+        let mut s = Session::new(&ds, cfg(12, 9));
+        let mut selector = SeuSelector::new();
+        let mut user = SimulatedUser::default();
+        let mut pipeline = StandardPipeline;
+        for _ in 0..3 {
+            s.step(&mut selector, &mut user, &mut pipeline);
+        }
+        let good = s.checkpoint();
+        assert!(Session::restore(&ds, &good).is_ok());
+
+        let mut bad = good.clone();
+        bad.excluded.pop();
+        assert!(matches!(
+            Session::restore(&ds, &bad),
+            Err(RestoreError::LengthMismatch { field: "excluded", .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.train_p_pos[0] = f64::NAN;
+        assert!(matches!(
+            Session::restore(&ds, &bad),
+            Err(RestoreError::ValueOutOfRange { field: "train_p_pos" })
+        ));
+
+        let mut bad = good.clone();
+        bad.valid_pred[0] = 0;
+        assert!(matches!(
+            Session::restore(&ds, &bad),
+            Err(RestoreError::ValueOutOfRange { field: "valid_pred" })
+        ));
+
+        let mut bad = good.clone();
+        bad.lineage[0].lf.z = ds.n_primitives as u32;
+        assert!(matches!(
+            Session::restore(&ds, &bad),
+            Err(RestoreError::LineageOutOfDomain { lf: 0 })
+        ));
+
+        let mut bad = good.clone();
+        bad.columns.pop();
+        assert!(matches!(Session::restore(&ds, &bad), Err(RestoreError::ColumnArity { .. })));
+
+        let mut bad = good.clone();
+        bad.columns[0] = vec![(0, 2)];
+        assert!(matches!(
+            Session::restore(&ds, &bad),
+            Err(RestoreError::MalformedColumn { lf: 0, .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.columns[0] = vec![(ds.train.n() as u32, 1)];
+        assert!(matches!(
+            Session::restore(&ds, &bad),
+            Err(RestoreError::MalformedColumn { lf: 0, .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.pending = Some(ds.train.n());
+        assert!(matches!(Session::restore(&ds, &bad), Err(RestoreError::InvalidPending)));
+
+        let mut bad = good.clone();
+        bad.rng_state = [0; 4];
+        assert!(matches!(Session::restore(&ds, &bad), Err(RestoreError::DegenerateRngState)));
+    }
+
+    #[test]
+    fn checkpoint_due_follows_cadence() {
+        let ds = toy_text(1);
+        let mut config = cfg(10, 10);
+        config.checkpoint_every = Some(2);
+        let mut s = Session::new(&ds, config);
+        let mut selector = RandomSelector;
+        let mut user = SimulatedUser::default();
+        let mut pipeline = StandardPipeline;
+        assert!(!s.checkpoint_due(), "never due at iteration 0");
+        let mut due = Vec::new();
+        for _ in 0..5 {
+            s.step(&mut selector, &mut user, &mut pipeline);
+            due.push(s.checkpoint_due());
+        }
+        assert_eq!(due, vec![false, true, false, true, false]);
+        let unset = Session::new(&ds, cfg(10, 11));
+        assert!(!unset.checkpoint_due());
     }
 }

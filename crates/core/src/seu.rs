@@ -445,6 +445,8 @@ impl SeuSelector {
             return self.cache.as_ref().map(|c| c.scores.as_slice());
         }
         let dirty_prims = if reusable {
+            // invariant: `reusable` is only true when `self.cache` is
+            // Some and its snapshot matched this aggregate cache's id.
             seu.dirty_prims_since(snapshot.expect("reusable implies cache").0)
         } else {
             None
@@ -463,6 +465,7 @@ impl SeuSelector {
 
         match dirty_prims {
             Some(mut dirty) if reusable => {
+                // invariant: same `reusable` ⇒ cache-present guarantee.
                 let c = self.cache.as_mut().expect("reusable implies cache");
                 // LFs collected since the snapshot dirty their primitive's
                 // row even when its aggregate is clean.
@@ -528,6 +531,7 @@ impl SeuSelector {
                 let mut scores = vec![0.0; n];
                 derive_scores(&num, &den, &has_prims, normalized, &mut scores);
                 let mut stats = if reusable {
+                    // invariant: same `reusable` ⇒ cache-present guarantee.
                     self.cache.as_ref().expect("reusable implies cache").stats
                 } else {
                     DirtyScoreStats::default()
@@ -594,6 +598,9 @@ impl Selector for SeuSelector {
         // available pool. Falls through to the per-round rescore for
         // stand-alone views or `SeuScoring::Full`.
         let scores: Vec<f64> = if self.scoring == SeuScoring::DirtySet && view.aggs.is_some() {
+            // invariant: guarded by `view.aggs.is_some()` on this branch,
+            // and `scores_cached` returns None only for aggregate-less
+            // views.
             let cached = self.scores_cached(view).expect("view carries aggregates");
             avail.iter().map(|&x| cached[x]).collect()
         } else {

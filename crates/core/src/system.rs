@@ -16,7 +16,9 @@
 //! of other examples containing a candidate primitive before committing to
 //! an LF.
 
+use crate::checkpoint::SessionCheckpoint;
 use crate::config::{ContextualizerConfig, IdpConfig};
+use crate::error::{RestoreError, SessionError};
 use crate::idp::{LearningCurve, ModelOutputs};
 use crate::oracle::User;
 use crate::pipeline::ContextualizedPipeline;
@@ -79,24 +81,40 @@ impl<'a> NemoSystem<'a> {
         self.session.iteration()
     }
 
-    /// IDP stage 1: suggest the next development example. Returns `None`
-    /// when the pool is exhausted. The example is reserved until
-    /// [`NemoSystem::submit_lf`] or [`NemoSystem::skip`] is called.
-    pub fn suggest_example(&mut self) -> Option<usize> {
+    /// IDP stage 1: suggest the next development example. Returns
+    /// `Ok(None)` when the pool is exhausted. The example is reserved
+    /// until [`NemoSystem::submit_lf`] or [`NemoSystem::skip`] is called.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::SuggestionPending`] if the previous suggestion has
+    /// not been resolved yet.
+    pub fn suggest_example(&mut self) -> Result<Option<usize>, SessionError> {
         self.session.select_with(&mut self.selector)
     }
 
     /// IDP stages 2–3: record an LF written from the pending example and
     /// re-learn the models.
-    pub fn submit_lf(&mut self, lf: PrimitiveLf) {
-        self.session.submit(vec![lf], &mut self.pipeline);
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoPendingSuggestion`] without a prior
+    /// [`NemoSystem::suggest_example`];
+    /// [`SessionError::PrimitiveOutOfDomain`] for an LF outside the
+    /// dataset's primitive domain. On error no state changes.
+    pub fn submit_lf(&mut self, lf: PrimitiveLf) -> Result<(), SessionError> {
+        self.session.submit(vec![lf], &mut self.pipeline)
     }
 
     /// Decline to write an LF for the pending example; models advance
     /// unchanged (the iteration is still consumed, as in the paper's
     /// fixed-budget protocol).
-    pub fn skip(&mut self) {
-        self.session.skip(&mut self.pipeline);
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoPendingSuggestion`] without a pending suggestion.
+    pub fn skip(&mut self) -> Result<(), SessionError> {
+        self.session.skip(&mut self.pipeline)
     }
 
     /// Sec. 7 example explorer: a random sample of up to `k` training
@@ -118,16 +136,23 @@ impl<'a> NemoSystem<'a> {
         let (n_iterations, eval_every) =
             (self.session.config().n_iterations, self.session.config().eval_every);
         for t in 0..n_iterations {
-            match self.suggest_example() {
+            // invariant: this loop resolves every suggestion it makes, so
+            // the protocol errors are unreachable from here.
+            match self.suggest_example().expect("loop never leaves a suggestion pending") {
                 Some(x) => {
                     // Multi-LF submissions share the pending example; an
                     // empty answer consumes the iteration like a skip.
                     let lfs = self.session.develop(x, user);
-                    self.session.submit(lfs, &mut self.pipeline);
+                    // invariant: users develop LFs over real primitives.
+                    self.session
+                        .submit(lfs, &mut self.pipeline)
+                        .expect("loop submits its own suggestion");
                 }
                 None => {
                     // Pool exhausted: keep evaluating the frozen model.
-                    self.session.advance_frozen();
+                    // invariant: the suggestion above returned None, so no
+                    // reservation exists.
+                    self.session.advance_frozen().expect("no reservation outstanding");
                 }
             }
             if (t + 1) % eval_every == 0 {
@@ -135,6 +160,60 @@ impl<'a> NemoSystem<'a> {
             }
         }
         curve
+    }
+
+    /// Whether the configured checkpoint cadence
+    /// ([`IdpConfig::checkpoint_every`]) says a snapshot is due now.
+    pub fn checkpoint_due(&self) -> bool {
+        self.session.checkpoint_due()
+    }
+
+    /// Snapshot the full system state: the session's authoritative state
+    /// plus the contextualizer's EM warm-start seeds (so restored tuning
+    /// rounds seed their fits exactly like uninterrupted ones).
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        let mut ckpt = self.session.checkpoint();
+        ckpt.warm_seeds = self.pipeline.contextualizer().warm_seeds().to_vec();
+        ckpt
+    }
+
+    /// Restore a system from a checkpoint with default components
+    /// (SEU selector, default contextualizer settings).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RestoreError`] from validating the checkpoint against `ds`.
+    pub fn restore(ds: &'a Dataset, ckpt: &SessionCheckpoint) -> Result<Self, RestoreError> {
+        Self::restore_with(ds, ckpt, SeuSelector::new(), ContextualizerConfig::default())
+    }
+
+    /// Restore with explicit SEU/contextualizer settings (the counterpart
+    /// of [`NemoSystem::with_components`]). The contextualizer starts with
+    /// empty distance caches — its next learning round re-registers the
+    /// whole lineage in one batch, which is bit-identical to the
+    /// incremental registrations of the original run — and with the
+    /// checkpoint's warm-start seeds, so percentile tuning resumes from
+    /// the same EM state. Restored sessions therefore make the same
+    /// selections and produce the same model outputs as never-interrupted
+    /// ones (`tests/session_checkpoint.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RestoreError`] from validating the checkpoint against `ds`;
+    /// [`RestoreError::ValueOutOfRange`] if a warm seed is non-finite.
+    pub fn restore_with(
+        ds: &'a Dataset,
+        ckpt: &SessionCheckpoint,
+        selector: SeuSelector,
+        ctx_config: ContextualizerConfig,
+    ) -> Result<Self, RestoreError> {
+        if ckpt.warm_seeds.iter().flatten().any(|s| !s.is_finite()) {
+            return Err(RestoreError::ValueOutOfRange { field: "warm_seeds" });
+        }
+        let session = Session::restore(ds, ckpt)?;
+        let mut pipeline = ContextualizedPipeline::new(ctx_config);
+        pipeline.contextualizer_mut().set_warm_seeds(ckpt.warm_seeds.clone());
+        Ok(Self { session, selector, pipeline })
     }
 }
 
@@ -153,10 +232,10 @@ mod tests {
     fn interactive_loop_suggest_submit() {
         let ds = toy_text(1);
         let mut nemo = NemoSystem::new(&ds, cfg(10, 1));
-        let x = nemo.suggest_example().expect("pool non-empty");
+        let x = nemo.suggest_example().unwrap().expect("pool non-empty");
         let prims = ds.train.corpus.primitives_of(x);
         let lf = PrimitiveLf::new(prims[0], Label::Pos);
-        nemo.submit_lf(lf);
+        nemo.submit_lf(lf).unwrap();
         assert_eq!(nemo.lineage().len(), 1);
         assert_eq!(nemo.iteration(), 1);
         assert_eq!(nemo.lineage().dev_example(0), x as u32);
@@ -167,26 +246,68 @@ mod tests {
         let ds = toy_text(1);
         let mut nemo = NemoSystem::new(&ds, cfg(10, 2));
         nemo.suggest_example().unwrap();
-        nemo.skip();
+        nemo.skip().unwrap();
         assert_eq!(nemo.lineage().len(), 0);
         assert_eq!(nemo.iteration(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "pending")]
-    fn submit_without_suggest_panics() {
+    fn submit_without_suggest_is_an_error() {
+        use crate::error::SessionError;
         let ds = toy_text(1);
         let mut nemo = NemoSystem::new(&ds, cfg(10, 3));
-        nemo.submit_lf(PrimitiveLf::new(0, Label::Pos));
+        assert_eq!(
+            nemo.submit_lf(PrimitiveLf::new(0, Label::Pos)),
+            Err(SessionError::NoPendingSuggestion)
+        );
+        assert_eq!(nemo.skip(), Err(SessionError::NoPendingSuggestion));
+        assert_eq!(nemo.iteration(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "not yet resolved")]
-    fn double_suggest_panics() {
+    fn double_suggest_is_an_error() {
+        use crate::error::SessionError;
         let ds = toy_text(1);
         let mut nemo = NemoSystem::new(&ds, cfg(10, 4));
-        nemo.suggest_example().unwrap();
-        nemo.suggest_example();
+        let x = nemo.suggest_example().unwrap().unwrap();
+        assert_eq!(nemo.suggest_example(), Err(SessionError::SuggestionPending { pending: x }));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_mid_loop() {
+        let ds = toy_text(1);
+        let mut nemo = NemoSystem::new(&ds, cfg(10, 7));
+        let mut user = SimulatedUser::default();
+        for _ in 0..3 {
+            match nemo.suggest_example().unwrap() {
+                Some(x) => {
+                    let lfs = nemo.session.develop(x, &mut user);
+                    nemo.session.submit(lfs, &mut nemo.pipeline).unwrap();
+                }
+                None => nemo.session.advance_frozen().unwrap(),
+            }
+        }
+        let ckpt = nemo.checkpoint();
+        let restored = NemoSystem::restore(&ds, &ckpt).expect("valid checkpoint restores");
+        assert_eq!(restored.iteration(), nemo.iteration());
+        assert_eq!(restored.lineage().tracked(), nemo.lineage().tracked());
+        assert_eq!(
+            restored.pipeline.contextualizer().warm_seeds(),
+            nemo.pipeline.contextualizer().warm_seeds()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_non_finite_warm_seeds() {
+        use crate::error::RestoreError;
+        let ds = toy_text(1);
+        let nemo = NemoSystem::new(&ds, cfg(10, 8));
+        let mut ckpt = nemo.checkpoint();
+        ckpt.warm_seeds = vec![vec![0.5, f64::NAN]];
+        assert!(matches!(
+            NemoSystem::restore(&ds, &ckpt),
+            Err(RestoreError::ValueOutOfRange { field: "warm_seeds" })
+        ));
     }
 
     #[test]

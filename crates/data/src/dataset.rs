@@ -61,6 +61,44 @@ impl Features {
         Self { csr, dense: Some(dense), csc: None, sq_norms }
     }
 
+    /// Reassemble features from persisted parts without recomputing the
+    /// norms or the column-major companion — the fast-load path of the
+    /// artifact store. Validates the cross-buffer invariants
+    /// ([`Features::from_csr`]/[`Features::from_dense`] establish them by
+    /// construction); returns `Err` instead of panicking so corrupted
+    /// artifacts surface as typed load errors.
+    pub fn from_parts(
+        csr: CsrMatrix,
+        dense: Option<DenseMatrix>,
+        csc: Option<CscIndex>,
+        sq_norms: Vec<f64>,
+    ) -> Result<Self, &'static str> {
+        if sq_norms.len() != csr.n_rows() {
+            return Err("row-norm cache length does not match row count");
+        }
+        if sq_norms.iter().any(|&n| !n.is_finite() || n < 0.0) {
+            return Err("row norm must be finite and non-negative");
+        }
+        match (&dense, &csc) {
+            (Some(d), None) => {
+                if d.n_rows() != csr.n_rows() || d.n_cols() != csr.n_cols() {
+                    return Err("dense mirror shape does not match CSR");
+                }
+            }
+            (None, Some(c)) => {
+                if c.n_rows() != csr.n_rows() || c.n_cols() != csr.n_cols() || c.nnz() != csr.nnz()
+                {
+                    return Err("CSC companion shape does not match CSR");
+                }
+            }
+            // The distance dispatch relies on exactly one of the two being
+            // present (see `point_to_all_into_with`).
+            (Some(_), Some(_)) => return Err("features cannot be both dense- and CSC-backed"),
+            (None, None) => return Err("sparse-backed features require a CSC companion"),
+        }
+        Ok(Self { csr, dense, csc, sq_norms })
+    }
+
     /// Number of examples.
     pub fn n(&self) -> usize {
         self.csr.n_rows()

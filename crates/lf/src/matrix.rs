@@ -61,6 +61,23 @@ impl LfColumn {
         Self { entries, token: fresh_token() }
     }
 
+    /// Fallible [`LfColumn::new`] for untrusted input (checkpoint
+    /// restore): same sorting and invariants, but malformed entries —
+    /// duplicate example ids or non-±1 votes — come back as `Err` instead
+    /// of a panic.
+    pub fn try_new(mut entries: Vec<(u32, Vote)>) -> Result<Self, &'static str> {
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        for w in entries.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err("duplicate example in LF column");
+            }
+        }
+        if entries.iter().any(|&(_, v)| v != -1 && v != 1) {
+            return Err("column vote must be ±1");
+        }
+        Ok(Self { entries, token: fresh_token() })
+    }
+
     /// An empty (all-abstain) column.
     pub fn empty() -> Self {
         Self { entries: Vec::new(), token: fresh_token() }

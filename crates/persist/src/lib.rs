@@ -1,0 +1,57 @@
+//! # nemo-persist — crash-safe artifact store and session checkpointing
+//!
+//! Two kinds of durable state, one container format:
+//!
+//! - **Dataset artifacts** ([`ArtifactBundle`]): the immutable product of
+//!   dataset preparation — feature matrices with their column-major
+//!   companions and cached row norms, primitive corpora, vocabulary, and
+//!   fitted TF-IDF statistics — stored so a later process loads them
+//!   near-instantly instead of re-running preparation.
+//! - **Session checkpoints** (`nemo_core::SessionCheckpoint`): the
+//!   authoritative state of a live interactive session, stored so a user
+//!   can disconnect and resume *bit-identically* — a restored session
+//!   makes the same selections and produces the same posteriors as one
+//!   that was never interrupted.
+//!
+//! ## Guarantees
+//!
+//! **Writes are crash-safe.** [`write_atomic`] writes to a temporary file
+//! in the destination directory, fsyncs it, atomically renames it over the
+//! destination, and fsyncs the directory. A crash at any point leaves
+//! either the complete old file or the complete new file.
+//!
+//! **Reads are hostile-input-safe.** Every file carries a magic, a format
+//! version, an endianness canary, a file-kind tag, and CRC-32 checksums
+//! over the header and every section. Loaders validate framing, length
+//! prefixes (with overflow-checked arithmetic, before any allocation), and
+//! every cross-buffer invariant of the decoded types. Truncation at any
+//! length and corruption at any byte yield a typed [`PersistError`] —
+//! never a panic, never a silently-wrong load. The fault-injection suite
+//! (`tests/persist_fault_injection.rs`) enforces this byte-by-byte.
+//!
+//! ## Example
+//!
+//! ```
+//! use nemo_persist::{save_artifact, load_artifact, ArtifactBundle};
+//! use nemo_data::catalog::toy_text;
+//!
+//! let dir = std::env::temp_dir().join(format!("nemo-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("toy.nemo");
+//!
+//! let bundle = ArtifactBundle { dataset: toy_text(42), vocab: None, tfidf: None };
+//! save_artifact(&path, &bundle).unwrap();
+//! let loaded = load_artifact(&path).unwrap();
+//! assert_eq!(loaded.dataset.train.n(), bundle.dataset.train.n());
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod artifact;
+pub mod format;
+pub mod session;
+
+pub use artifact::{
+    artifact_from_bytes, artifact_to_bytes, load_artifact, save_artifact, ArtifactBundle,
+};
+pub use format::{write_atomic, PersistError};
+pub use session::{load_session, save_session, session_from_bytes, session_to_bytes};

@@ -36,6 +36,12 @@ impl DenseMatrix {
         Self { data, n_rows, n_cols }
     }
 
+    /// Borrow the flat row-major buffer for serialization; round-trips
+    /// through [`DenseMatrix::from_flat`] together with the dimensions.
+    pub fn flat(&self) -> &[f32] {
+        &self.data
+    }
+
     /// Number of rows.
     pub fn n_rows(&self) -> usize {
         self.n_rows

@@ -59,6 +59,27 @@ impl DetRng {
         result
     }
 
+    /// Export the raw generator state for checkpointing: the xoshiro256++
+    /// state words plus the cached Box–Muller spare, exactly enough to
+    /// resume the stream bit-for-bit with [`DetRng::from_raw_state`].
+    pub fn raw_state(&self) -> ([u64; 4], Option<f64>) {
+        (self.state, self.gauss_spare)
+    }
+
+    /// Rebuild a generator from a state exported by [`DetRng::raw_state`].
+    ///
+    /// This is a checkpoint-restore entry point, not a seeding API — use
+    /// [`DetRng::new`] to start a fresh stream. Returns `None` for the
+    /// all-zero state, which is a fixed point of xoshiro256++ (the stream
+    /// would emit zeros forever) and is unreachable from `DetRng::new`, so
+    /// it can only arise from a corrupted or hand-crafted checkpoint.
+    pub fn from_raw_state(state: [u64; 4], gauss_spare: Option<f64>) -> Option<Self> {
+        if state == [0; 4] {
+            return None;
+        }
+        Some(Self { state, gauss_spare })
+    }
+
     /// Derive an independent sub-stream identified by `salt`.
     ///
     /// Forking with distinct salts yields streams that do not interact, so a

@@ -96,6 +96,46 @@ impl TfIdfModel {
         }
     }
 
+    /// The full IDF weight table in feature-id order (serialization
+    /// export; round-trips through [`TfIdfModel::from_parts`]).
+    pub fn idf_weights(&self) -> &[f32] {
+        &self.idf
+    }
+
+    /// The full training document-frequency table in feature-id order.
+    pub fn df_counts(&self) -> &[u32] {
+        &self.df
+    }
+
+    /// The transform configuration the model was fitted with.
+    pub fn config(&self) -> &TfIdf {
+        &self.config
+    }
+
+    /// Rebuild a fitted model from its exported statistics. Import half of
+    /// the serialization round-trip ([`TfIdfModel::idf_weights`] /
+    /// [`TfIdfModel::df_counts`] / [`TfIdfModel::config`] /
+    /// [`TfIdfModel::n_train_docs`]); validates the cross-table invariants
+    /// instead of panicking on untrusted input.
+    pub fn from_parts(
+        idf: Vec<f32>,
+        df: Vec<u32>,
+        config: TfIdf,
+        n_train_docs: usize,
+    ) -> Result<Self, &'static str> {
+        if idf.len() != df.len() {
+            return Err("TF-IDF idf/df table length mismatch");
+        }
+        if df.iter().any(|&d| d as usize > n_train_docs) {
+            return Err("TF-IDF document frequency exceeds corpus size");
+        }
+        if idf.iter().any(|w| !w.is_finite()) {
+            return Err("TF-IDF idf weight not finite");
+        }
+        let n_features = idf.len();
+        Ok(Self { idf, df, config, n_features, n_train_docs })
+    }
+
     /// Transform one document (token-id sequence) into a sparse vector.
     pub fn transform_doc(&self, doc: &[u32]) -> SparseVec {
         let mut counts: HashMap<u32, u32> = HashMap::with_capacity(doc.len());

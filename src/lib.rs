@@ -36,14 +36,15 @@
 //! let dataset = toy_text(42);
 //! let mut nemo = NemoSystem::new(&dataset, IdpConfig::default());
 //!
-//! // 1. Nemo suggests the most useful development example.
-//! let x = nemo.suggest_example().expect("pool is non-empty");
+//! // 1. Nemo suggests the most useful development example (out-of-order
+//! //    calls return a typed `SessionError` instead of panicking).
+//! let x = nemo.suggest_example().unwrap().expect("pool is non-empty");
 //!
 //! // 2. Inspect it (here: its candidate primitives), optionally explore
 //! //    other examples containing a primitive, then write an LF.
 //! let z = dataset.train.corpus.primitives_of(x)[0];
 //! let _similar = nemo.explore_primitive(z, 5);
-//! nemo.submit_lf(PrimitiveLf::new(z, Label::Pos));
+//! nemo.submit_lf(PrimitiveLf::new(z, Label::Pos)).unwrap();
 //!
 //! // 3. Models are re-learned with the LF's development context.
 //! assert_eq!(nemo.lineage().len(), 1);
@@ -61,6 +62,7 @@
 //! | [`data`] | `nemo-data` | dataset abstraction + the six synthetic catalog datasets |
 //! | [`text`] | `nemo-text` | tokenizer, vocabulary, n-grams, TF-IDF |
 //! | [`sparse`] | `nemo-sparse` | CSR matrices, distances, inverted index, deterministic RNG, stats |
+//! | [`persist`] | `nemo-persist` | crash-safe dataset artifact store + session checkpoint files |
 
 pub use nemo_baselines as baselines;
 pub use nemo_core as core;
@@ -68,5 +70,6 @@ pub use nemo_data as data;
 pub use nemo_endmodel as endmodel;
 pub use nemo_labelmodel as labelmodel;
 pub use nemo_lf as lf;
+pub use nemo_persist as persist;
 pub use nemo_sparse as sparse;
 pub use nemo_text as text;

@@ -142,10 +142,10 @@ fn interactive_api_and_batch_api_agree_on_state_shape() {
     let mut rng = nemo::sparse::DetRng::new(17);
     let mut user = SimulatedUser::default();
     for _ in 0..5 {
-        let Some(x) = nemo.suggest_example() else { break };
+        let Some(x) = nemo.suggest_example().unwrap() else { break };
         match nemo::core::oracle::User::provide_lf(&mut user, x, &ds, &mut rng) {
-            Some(lf) => nemo.submit_lf(lf),
-            None => nemo.skip(),
+            Some(lf) => nemo.submit_lf(lf).unwrap(),
+            None => nemo.skip().unwrap(),
         }
     }
     assert_eq!(nemo.iteration(), 5);
