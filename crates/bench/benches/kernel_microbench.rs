@@ -26,11 +26,14 @@ use nemo_core::oracle::{SimulatedUser, User};
 use nemo_core::pipeline::StandardPipeline;
 use nemo_core::session::{Session, SeuAggregates};
 use nemo_core::seu::SeuSelector;
+use nemo_core::{NemoSystem, PoolConfig, RoundJob, SessionPool, SharedArtifacts};
 use nemo_data::catalog::{build, DatasetName, Profile};
 use nemo_data::Dataset;
 use nemo_labelmodel::{FittedLabelModel, GenerativeModel, LabelModel, TripletModel};
 use nemo_lf::{LabelMatrix, Lineage, PrimitiveLf};
-use nemo_persist::{artifact_to_bytes, load_artifact, save_artifact, ArtifactBundle};
+use nemo_persist::{
+    artifact_to_bytes, load_artifact, save_artifact, ArtifactBundle, EncodedCheckpointStore,
+};
 use nemo_sparse::distance::MIN_SHARDED_ROWS;
 use nemo_sparse::{
     CscIndex, CsrMatrix, DenseBackend, DenseMatrix, DetRng, Distance, DistanceScratch, SparseVec,
@@ -1390,6 +1393,223 @@ fn artifact_load_bench(profile: Profile, results: &mut Vec<BenchResult>) -> Stri
     json
 }
 
+/// Per-level measurements of the session-pool throughput sweep.
+struct PoolLevel {
+    sessions: usize,
+    reps: usize,
+    latencies: Vec<u64>,
+    total_secs: f64,
+    evictions: u64,
+    restores: u64,
+}
+
+/// Value at quantile `q` of an ascending-sorted sample (nearest rank).
+fn percentile_ns(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Multi-tenant `SessionPool` throughput: K concurrent sessions over one
+/// shared `SharedArtifacts` set, three interleaved batched rounds each, at
+/// K ∈ {1, 8, 64, 256}. The pool caps residency at 64 sessions over an
+/// in-memory *encoded* checkpoint store, so the 256-session level pays the
+/// real persist-container serialization cost on every eviction/restore
+/// cycle. Sessions/sec and p50/p99 round latencies are recorded per level.
+///
+/// Correctness is asserted unconditionally: the first eight sessions of
+/// every level (including the eviction-churned 256-session level) must
+/// retrace a standalone `NemoSystem` run bit-for-bit — same selections,
+/// same posterior bits. With `NEMO_BENCH_ENFORCE`, pool scheduling
+/// overhead for a single session must stay within 1.5x of driving a bare
+/// `NemoSystem` directly (min-over-min, like the other gates).
+fn session_pool_bench(ds: &Dataset, results: &mut Vec<BenchResult>) -> String {
+    const ROUNDS: usize = 3;
+    const MAX_RESIDENT: usize = 64;
+    let seed_of = |rep: usize, j: usize| 40_000 + (rep * 1_000 + j) as u64;
+    let session_cfg = |seed: u64| IdpConfig {
+        n_iterations: ROUNDS,
+        eval_every: ROUNDS,
+        seed,
+        ..IdpConfig::default()
+    };
+    let arts = SharedArtifacts::new(ds.clone());
+
+    // Direct baseline: the same rounds driven on bare `NemoSystem`s.
+    let mut direct_lat: Vec<u64> = Vec::new();
+    for rep in 0..8 {
+        let mut nemo = NemoSystem::new(arts.dataset(), session_cfg(seed_of(rep, 0)));
+        let mut user = SimulatedUser::default();
+        for _ in 0..ROUNDS {
+            let t = Instant::now();
+            nemo.step_with_user(&mut user).expect("direct round");
+            direct_lat.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    let mut levels: Vec<PoolLevel> = Vec::new();
+    for &(k, reps) in &[(1usize, 8usize), (8, 3), (64, 1), (256, 1)] {
+        let mut lv = PoolLevel {
+            sessions: k,
+            reps,
+            latencies: Vec::new(),
+            total_secs: 0.0,
+            evictions: 0,
+            restores: 0,
+        };
+        for rep in 0..reps {
+            let config = PoolConfig { max_resident: MAX_RESIDENT, ..PoolConfig::default() };
+            let mut pool =
+                SessionPool::with_store(&arts, config, Box::new(EncodedCheckpointStore::new()));
+            let ids: Vec<_> = (0..k)
+                .map(|j| pool.admit(session_cfg(seed_of(rep, j))).expect("admit session"))
+                .collect();
+            let mut users: Vec<SimulatedUser> = (0..k).map(|_| SimulatedUser::default()).collect();
+            let mut selections: Vec<Vec<Option<usize>>> = vec![Vec::new(); k];
+            let t0 = Instant::now();
+            for _ in 0..ROUNDS {
+                let mut jobs: Vec<RoundJob<'_>> =
+                    ids.iter().zip(users.iter_mut()).map(|(&id, u)| RoundJob::new(id, u)).collect();
+                let outcomes = pool.run_rounds(&mut jobs).expect("pooled rounds");
+                for (j, o) in outcomes.iter().enumerate() {
+                    selections[j].push(o.record.selected);
+                    lv.latencies.push(o.round_ns);
+                }
+            }
+            lv.total_secs += t0.elapsed().as_secs_f64();
+            lv.evictions += pool.stats().evictions;
+            lv.restores += pool.stats().restores;
+
+            if rep == 0 {
+                for (j, &id) in ids.iter().enumerate().take(8) {
+                    let mut nemo = NemoSystem::new(arts.dataset(), session_cfg(seed_of(rep, j)));
+                    let mut user = SimulatedUser::default();
+                    let solo: Vec<Option<usize>> = (0..ROUNDS)
+                        .map(|_| nemo.step_with_user(&mut user).expect("solo round").selected)
+                        .collect();
+                    assert_eq!(
+                        selections[j], solo,
+                        "pooled session {id} diverged from standalone (selections, k={k})"
+                    );
+                    let pooled_bits = pool
+                        .with_session(id, |n| {
+                            n.outputs()
+                                .train_posterior
+                                .p_pos_slice()
+                                .iter()
+                                .map(|p| p.to_bits())
+                                .collect::<Vec<u64>>()
+                        })
+                        .expect("inspect pooled session");
+                    let solo_bits: Vec<u64> = nemo
+                        .outputs()
+                        .train_posterior
+                        .p_pos_slice()
+                        .iter()
+                        .map(|p| p.to_bits())
+                        .collect();
+                    assert_eq!(
+                        pooled_bits, solo_bits,
+                        "pooled session {id} diverged from standalone (posterior bits, k={k})"
+                    );
+                }
+            }
+        }
+        lv.latencies.sort_unstable();
+        levels.push(lv);
+    }
+
+    let direct_mean = direct_lat.iter().sum::<u64>() as f64 / direct_lat.len() as f64;
+    let direct_min = *direct_lat.iter().min().expect("direct samples") as f64;
+    let pool1_mean =
+        levels[0].latencies.iter().sum::<u64>() as f64 / levels[0].latencies.len() as f64;
+    let pool1_min = levels[0].latencies[0] as f64;
+    let overhead = pool1_min / direct_min;
+    let workers = nemo_sparse::parallel::num_threads();
+    println!(
+        "\nSession pool ({} train={}, {ROUNDS} rounds/session, max_resident {MAX_RESIDENT}, \
+         {workers} worker(s)):",
+        ds.name,
+        ds.train.n()
+    );
+    for lv in &levels {
+        println!(
+            "  {:>4} sessions x{}: {:>8.1} sessions/s  {:>8.1} rounds/s  p50 {:>10}  p99 {:>10}  \
+             evict {:>4}  restore {:>4}",
+            lv.sessions,
+            lv.reps,
+            (lv.sessions * lv.reps) as f64 / lv.total_secs,
+            lv.latencies.len() as f64 / lv.total_secs,
+            human(percentile_ns(&lv.latencies, 0.50) as f64),
+            human(percentile_ns(&lv.latencies, 0.99) as f64),
+            lv.evictions,
+            lv.restores,
+        );
+    }
+    println!(
+        "  single-session pool overhead: {overhead:.2}x vs bare NemoSystem ({} vs {})",
+        human(pool1_min),
+        human(direct_min)
+    );
+    if std::env::var("NEMO_BENCH_ENFORCE").is_ok() {
+        assert!(
+            pool1_min <= direct_min * 1.5,
+            "regression: pooled single-session round ({}) exceeds 1.5x a bare NemoSystem \
+             round ({})",
+            human(pool1_min),
+            human(direct_min)
+        );
+    }
+
+    let mut levels_json = String::from("[");
+    for (i, lv) in levels.iter().enumerate() {
+        levels_json.push_str(&format!(
+            concat!(
+                "{}{{\"sessions\": {}, \"reps\": {}, \"sessions_per_sec\": {:.2}, ",
+                "\"rounds_per_sec\": {:.2}, \"p50_round_ns\": {}, \"p99_round_ns\": {}, ",
+                "\"evictions\": {}, \"restores\": {}}}"
+            ),
+            if i == 0 { "" } else { ", " },
+            lv.sessions,
+            lv.reps,
+            (lv.sessions * lv.reps) as f64 / lv.total_secs,
+            lv.latencies.len() as f64 / lv.total_secs,
+            percentile_ns(&lv.latencies, 0.50),
+            percentile_ns(&lv.latencies, 0.99),
+            lv.evictions,
+            lv.restores,
+        ));
+    }
+    levels_json.push(']');
+    let json = format!(
+        concat!(
+            "{{\"rounds_per_session\": {}, \"max_resident\": {}, \"workers\": {}, ",
+            "\"effective_cores\": {}, \"direct_round_ns\": {:.0}, \"pool_round_ns\": {:.0}, ",
+            "\"pool_overhead\": {:.4}, \"bit_identical\": true, \"levels\": {}}}"
+        ),
+        ROUNDS,
+        MAX_RESIDENT,
+        workers,
+        effective_cores(),
+        direct_mean,
+        pool1_mean,
+        overhead,
+        levels_json,
+    );
+    results.push(BenchResult {
+        name: "session_round_direct",
+        iters: direct_lat.len() as u32,
+        mean_ns: direct_mean,
+        min_ns: direct_min,
+    });
+    results.push(BenchResult {
+        name: "session_round_pooled_k1",
+        iters: levels[0].latencies.len() as u32,
+        mean_ns: pool1_mean,
+        min_ns: pool1_min,
+    });
+    json
+}
+
 /// Mean time of a named kernel result (panics if the kernel wasn't run).
 fn mean_of(results: &[BenchResult], name: &str) -> f64 {
     results.iter().find(|r| r.name == name).map(|r| r.mean_ns).expect("kernel benched")
@@ -1465,6 +1685,7 @@ fn main() {
     let dense_sharded_json = dense_sharded_bench(&mut results);
     let indexed_sharded_json = indexed_sharded_bench(&mut results);
     let artifact_json = artifact_load_bench(profile, &mut results);
+    let pool_json = session_pool_bench(&ds, &mut results);
     let loop_json = seu_loop_bench(&ds, &trajectory);
     let (dirty_json, seu_full_round_ns, seu_dirty_round_ns) = seu_dirty_bench(&ds, &trajectory);
     let refine_json = refine_cache_bench(&ds, &session_lineage, &mut results);
@@ -1538,6 +1759,7 @@ fn main() {
     json.push_str(&format!("  \"dense_sharded\": {dense_sharded_json},\n"));
     json.push_str(&format!("  \"indexed_sharded\": {indexed_sharded_json},\n"));
     json.push_str(&format!("  \"artifact_load\": {artifact_json},\n"));
+    json.push_str(&format!("  \"session_pool\": {pool_json},\n"));
     json.push_str(&format!("  \"seu_loop\": {loop_json},\n"));
     json.push_str(&format!("  \"seu_dirty\": {dirty_json},\n"));
     json.push_str(&format!("  \"refine_cache\": {refine_json},\n"));

@@ -17,8 +17,13 @@
 //! engine (incremental SEU aggregates, parallel scoring), the [`idp`] loop
 //! shared by all methods, [`pipeline`]s (standard vs contextualized
 //! learning), the simulated user [`oracle`] (Sec. 5.1), the ergonomic
-//! [`system`] facade, and the multi-LF extension of Sec. 7 ([`multi_lf`]).
+//! [`system`] facade, the multi-LF extension of Sec. 7 ([`multi_lf`]), and
+//! the multi-tenant serving layer — the immutable [`artifacts`] shared by
+//! every user and the [`pool`] scheduling hundreds of sessions over them.
 
+#![warn(missing_docs)]
+
+pub mod artifacts;
 pub mod checkpoint;
 pub mod config;
 pub mod contextualizer;
@@ -27,19 +32,27 @@ pub mod idp;
 pub mod multi_lf;
 pub mod oracle;
 pub mod pipeline;
+pub mod pool;
 pub mod session;
 pub mod seu;
 pub mod system;
 pub mod user_model;
 pub mod utility;
 
+pub use artifacts::SharedArtifacts;
 pub use checkpoint::SessionCheckpoint;
 pub use config::{ContextualizerConfig, IdpConfig, LabelModelKind};
 pub use contextualizer::Contextualizer;
 pub use error::{RestoreError, SessionError};
-pub use idp::{IdpSession, LearningCurve, ModelOutputs, RandomSelector, SelectionView, Selector};
+pub use idp::{
+    IdpSession, LearningCurve, ModelOutputs, RandomSelector, SelectionView, Selector, StepRecord,
+};
 pub use oracle::{FallbackPolicy, NoisyUser, SimulatedUser, User};
 pub use pipeline::{ContextualizedPipeline, LearningPipeline, StandardPipeline};
+pub use pool::{
+    CheckpointStore, MemoryCheckpointStore, PoolConfig, PoolError, PoolStats, RoundJob,
+    RoundOutcome, SessionId, SessionPool,
+};
 pub use session::{Session, SeuAggregates};
 pub use seu::SeuSelector;
 pub use system::NemoSystem;

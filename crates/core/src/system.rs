@@ -19,7 +19,7 @@
 use crate::checkpoint::SessionCheckpoint;
 use crate::config::{ContextualizerConfig, IdpConfig};
 use crate::error::{RestoreError, SessionError};
-use crate::idp::{LearningCurve, ModelOutputs};
+use crate::idp::{LearningCurve, ModelOutputs, StepRecord};
 use crate::oracle::User;
 use crate::pipeline::ContextualizedPipeline;
 use crate::session::Session;
@@ -129,6 +129,44 @@ impl<'a> NemoSystem<'a> {
         self.session.test_score()
     }
 
+    /// Run one full interactive round: suggest the next development
+    /// example, let `user` develop LFs from it, submit them and re-learn —
+    /// or, once the example pool is exhausted, advance the frozen model by
+    /// one iteration. [`NemoSystem::run_with_user`] is a loop over this;
+    /// multi-tenant schedulers ([`crate::pool::SessionPool`]) call it
+    /// directly so rounds from many sessions can interleave.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::SuggestionPending`] if a suggestion made through
+    /// [`NemoSystem::suggest_example`] is still unresolved; the round
+    /// itself always resolves the suggestion it makes.
+    pub fn step_with_user(&mut self, user: &mut dyn User) -> Result<StepRecord, SessionError> {
+        let iteration = self.session.iteration();
+        let selected = self.suggest_example()?;
+        let new_lfs = match selected {
+            Some(x) => {
+                // Multi-LF submissions share the pending example; an
+                // empty answer consumes the iteration like a skip.
+                let lfs = self.session.develop(x, user);
+                // invariant: users develop LFs over real primitives, and
+                // `x` is the reservation this round just made.
+                self.session
+                    .submit(lfs.clone(), &mut self.pipeline)
+                    .expect("round submits its own suggestion");
+                lfs
+            }
+            None => {
+                // Pool exhausted: keep evaluating the frozen model.
+                // invariant: the suggestion above returned None, so no
+                // reservation exists.
+                self.session.advance_frozen().expect("no reservation outstanding");
+                Vec::new()
+            }
+        };
+        Ok(StepRecord { iteration, selected, new_lfs })
+    }
+
     /// Drive the full interactive loop with a (simulated) user for the
     /// configured number of iterations, evaluating on the paper's cadence.
     pub fn run_with_user(&mut self, user: &mut dyn User) -> LearningCurve {
@@ -138,23 +176,7 @@ impl<'a> NemoSystem<'a> {
         for t in 0..n_iterations {
             // invariant: this loop resolves every suggestion it makes, so
             // the protocol errors are unreachable from here.
-            match self.suggest_example().expect("loop never leaves a suggestion pending") {
-                Some(x) => {
-                    // Multi-LF submissions share the pending example; an
-                    // empty answer consumes the iteration like a skip.
-                    let lfs = self.session.develop(x, user);
-                    // invariant: users develop LFs over real primitives.
-                    self.session
-                        .submit(lfs, &mut self.pipeline)
-                        .expect("loop submits its own suggestion");
-                }
-                None => {
-                    // Pool exhausted: keep evaluating the frozen model.
-                    // invariant: the suggestion above returned None, so no
-                    // reservation exists.
-                    self.session.advance_frozen().expect("no reservation outstanding");
-                }
-            }
+            self.step_with_user(user).expect("loop never leaves a suggestion pending");
             if (t + 1) % eval_every == 0 {
                 curve.push(t + 1, self.test_score());
             }
@@ -171,6 +193,34 @@ impl<'a> NemoSystem<'a> {
     /// Snapshot the full system state: the session's authoritative state
     /// plus the contextualizer's EM warm-start seeds (so restored tuning
     /// rounds seed their fits exactly like uninterrupted ones).
+    ///
+    /// A checkpoint taken mid-loop restores to a system that continues
+    /// bit-identically to the uninterrupted run:
+    ///
+    /// ```
+    /// use nemo_core::{IdpConfig, NemoSystem, SimulatedUser};
+    /// use nemo_data::catalog::toy_text;
+    ///
+    /// let ds = toy_text(1);
+    /// let config = IdpConfig { n_iterations: 6, seed: 7, ..Default::default() };
+    /// let mut original = NemoSystem::new(&ds, config);
+    /// let mut user = SimulatedUser::default();
+    /// for _ in 0..3 {
+    ///     original.step_with_user(&mut user).unwrap();
+    /// }
+    ///
+    /// let ckpt = original.checkpoint();
+    /// let mut resumed = NemoSystem::restore(&ds, &ckpt).unwrap();
+    ///
+    /// // Finish both runs; the resumed one retraces the original exactly.
+    /// let mut fresh_user = SimulatedUser::default();
+    /// for _ in 3..6 {
+    ///     let a = original.step_with_user(&mut user).unwrap();
+    ///     let b = resumed.step_with_user(&mut fresh_user).unwrap();
+    ///     assert_eq!(a.selected, b.selected);
+    /// }
+    /// assert_eq!(original.test_score().to_bits(), resumed.test_score().to_bits());
+    /// ```
     pub fn checkpoint(&self) -> SessionCheckpoint {
         let mut ckpt = self.session.checkpoint();
         ckpt.warm_seeds = self.pipeline.contextualizer().warm_seeds().to_vec();
@@ -179,6 +229,26 @@ impl<'a> NemoSystem<'a> {
 
     /// Restore a system from a checkpoint with default components
     /// (SEU selector, default contextualizer settings).
+    ///
+    /// Restoration validates every checkpoint field against `ds` before
+    /// touching any state — a checkpoint from the wrong dataset (or a
+    /// corrupted one) is rejected, never half-applied:
+    ///
+    /// ```
+    /// use nemo_core::{IdpConfig, NemoSystem, RestoreError};
+    /// use nemo_data::catalog::toy_text;
+    ///
+    /// let ds = toy_text(1);
+    /// let ckpt = NemoSystem::new(&ds, IdpConfig::default()).checkpoint();
+    /// assert!(NemoSystem::restore(&ds, &ckpt).is_ok());
+    ///
+    /// let mut bad = ckpt.clone();
+    /// bad.excluded.pop(); // now the wrong length for `ds`
+    /// assert!(matches!(
+    ///     NemoSystem::restore(&ds, &bad),
+    ///     Err(RestoreError::LengthMismatch { field: "excluded", .. })
+    /// ));
+    /// ```
     ///
     /// # Errors
     ///

@@ -15,7 +15,9 @@
 //! panic.
 
 use std::path::Path;
+use std::sync::Arc;
 
+use nemo_core::SharedArtifacts;
 use nemo_data::{Dataset, Features, Split};
 use nemo_lf::{Label, Metric, PrimitiveCorpus};
 use nemo_sparse::{CscIndex, CsrMatrix, DenseMatrix};
@@ -44,6 +46,27 @@ pub struct ArtifactBundle {
     /// Fitted TF-IDF statistics, if the dataset came from the text
     /// pipeline.
     pub tfidf: Option<TfIdfModel>,
+}
+
+impl ArtifactBundle {
+    /// Move the bundle into the multi-tenant serving shape: the immutable
+    /// [`SharedArtifacts`] every concurrent session borrows.
+    pub fn into_shared(self) -> SharedArtifacts {
+        SharedArtifacts::with_text(self.dataset, self.vocab, self.tfidf)
+    }
+}
+
+impl From<ArtifactBundle> for SharedArtifacts {
+    fn from(bundle: ArtifactBundle) -> Self {
+        bundle.into_shared()
+    }
+}
+
+/// Load an artifact file straight into the [`Arc`] handle a multi-tenant
+/// deployment shares: one disk read, zero dataset copies, ready for
+/// `nemo_core::pool::SessionPool`.
+pub fn load_shared_artifacts(path: &Path) -> Result<Arc<SharedArtifacts>, PersistError> {
+    Ok(Arc::new(load_artifact(path)?.into_shared()))
 }
 
 fn enc_split(e: &mut Enc, s: &Split) {

@@ -46,12 +46,17 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod artifact;
 pub mod format;
 pub mod session;
+pub mod store;
 
 pub use artifact::{
-    artifact_from_bytes, artifact_to_bytes, load_artifact, save_artifact, ArtifactBundle,
+    artifact_from_bytes, artifact_to_bytes, load_artifact, load_shared_artifacts, save_artifact,
+    ArtifactBundle,
 };
 pub use format::{write_atomic, PersistError};
 pub use session::{load_session, save_session, session_from_bytes, session_to_bytes};
+pub use store::{EncodedCheckpointStore, FileCheckpointStore};

@@ -1,0 +1,178 @@
+//! Durable [`CheckpointStore`] implementations for the session pool.
+//!
+//! `nemo_core::pool::SessionPool` parks evicted sessions in a
+//! [`CheckpointStore`]; the core crate ships only the plain in-memory
+//! store. The stores here route every checkpoint through this crate's
+//! checksummed container format instead:
+//!
+//! - [`FileCheckpointStore`] — one crash-safe file per session under a
+//!   directory, so evicted sessions survive the process. This is the
+//!   store a real deployment points at.
+//! - [`EncodedCheckpointStore`] — the same encode/decode/validate
+//!   round-trip, held in memory. Benchmarks use it to charge eviction its
+//!   true serialization cost without coupling throughput numbers to disk
+//!   speed.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use nemo_core::pool::CheckpointStore;
+use nemo_core::SessionCheckpoint;
+
+use crate::format::write_atomic;
+use crate::session::{load_session, session_from_bytes, session_to_bytes};
+
+/// A [`CheckpointStore`] writing each session to
+/// `<dir>/session-<id>.nemo` via the crash-safe container format
+/// (temp file + fsync + atomic rename; checksummed, validated on load).
+///
+/// ```
+/// use nemo_core::pool::{CheckpointStore, PoolConfig, SessionPool};
+/// use nemo_core::{IdpConfig, SharedArtifacts, SimulatedUser};
+/// use nemo_data::catalog::toy_text;
+/// use nemo_persist::FileCheckpointStore;
+///
+/// let dir = std::env::temp_dir().join(format!("nemo-store-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir).unwrap();
+///
+/// let artifacts = SharedArtifacts::new(toy_text(1));
+/// let config = PoolConfig { max_resident: 1, ..Default::default() };
+/// let store = Box::new(FileCheckpointStore::new(&dir));
+/// let mut pool = SessionPool::with_store(&artifacts, config, store);
+///
+/// let a = pool.admit(IdpConfig { n_iterations: 4, seed: 1, ..Default::default() }).unwrap();
+/// let b = pool.admit(IdpConfig { n_iterations: 4, seed: 2, ..Default::default() }).unwrap();
+/// // Admitting `b` evicted `a` to a file; running `a` restores it.
+/// assert!(dir.join("session-0.nemo").exists());
+/// let mut user = SimulatedUser::default();
+/// pool.run_round(a, &mut user).unwrap();
+/// assert!(pool.is_resident(a));
+/// assert!(!pool.is_resident(b));
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct FileCheckpointStore {
+    dir: PathBuf,
+}
+
+impl FileCheckpointStore {
+    /// A store rooted at `dir` (which must already exist).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The file a given session id maps to.
+    pub fn path_of(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("session-{id}.nemo"))
+    }
+
+    /// The directory this store writes under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl CheckpointStore for FileCheckpointStore {
+    fn save(&mut self, id: u64, ckpt: &SessionCheckpoint) -> Result<(), String> {
+        write_atomic(&self.path_of(id), &session_to_bytes(ckpt)).map_err(|e| e.to_string())
+    }
+
+    fn load(&mut self, id: u64) -> Result<SessionCheckpoint, String> {
+        load_session(&self.path_of(id)).map_err(|e| e.to_string())
+    }
+
+    fn remove(&mut self, id: u64) -> Result<(), String> {
+        match std::fs::remove_file(self.path_of(id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+/// An in-memory [`CheckpointStore`] that still serializes every
+/// checkpoint through the container format — structural validation and
+/// encode/decode cost included, disk excluded.
+#[derive(Debug, Default)]
+pub struct EncodedCheckpointStore {
+    blobs: HashMap<u64, Vec<u8>>,
+}
+
+impl EncodedCheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently held across all parked sessions.
+    pub fn stored_bytes(&self) -> usize {
+        self.blobs.values().map(Vec::len).sum()
+    }
+}
+
+impl CheckpointStore for EncodedCheckpointStore {
+    fn save(&mut self, id: u64, ckpt: &SessionCheckpoint) -> Result<(), String> {
+        self.blobs.insert(id, session_to_bytes(ckpt));
+        Ok(())
+    }
+
+    fn load(&mut self, id: u64) -> Result<SessionCheckpoint, String> {
+        let blob =
+            self.blobs.get(&id).ok_or_else(|| format!("no checkpoint stored for id {id}"))?;
+        session_from_bytes(blob).map_err(|e| e.to_string())
+    }
+
+    fn remove(&mut self, id: u64) -> Result<(), String> {
+        self.blobs.remove(&id);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_core::{IdpConfig, NemoSystem};
+    use nemo_data::catalog::toy_text;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nemo-store-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn file_store_round_trips_and_removes() {
+        let dir = temp_dir("rt");
+        let ds = toy_text(1);
+        let ckpt = NemoSystem::new(&ds, IdpConfig::default()).checkpoint();
+        let mut store = FileCheckpointStore::new(&dir);
+        store.save(3, &ckpt).unwrap();
+        let back = store.load(3).unwrap();
+        assert_eq!(back.iteration, ckpt.iteration);
+        assert_eq!(back.rng_state, ckpt.rng_state);
+        store.remove(3).unwrap();
+        assert!(store.load(3).is_err());
+        // Removing an absent id is not an error.
+        store.remove(3).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn encoded_store_validates_on_load() {
+        let ds = toy_text(1);
+        let ckpt = NemoSystem::new(&ds, IdpConfig::default()).checkpoint();
+        let mut store = EncodedCheckpointStore::new();
+        store.save(7, &ckpt).unwrap();
+        assert!(store.stored_bytes() > 0);
+        let back = store.load(7).unwrap();
+        assert_eq!(back.excluded, ckpt.excluded);
+        // Corrupt the blob: load must fail, not produce garbage.
+        if let Some(blob) = store.blobs.get_mut(&7) {
+            let mid = blob.len() / 2;
+            blob[mid] ^= 0xFF;
+        }
+        assert!(store.load(7).is_err());
+        store.remove(7).unwrap();
+        assert!(store.load(7).is_err());
+    }
+}

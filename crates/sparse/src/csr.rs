@@ -100,7 +100,9 @@ impl SparseVec {
 /// Borrowed sparse row view over parallel index/value slices.
 #[derive(Debug, Clone, Copy)]
 pub struct SparseRow<'a> {
+    /// Column indices of the stored entries, strictly increasing.
     pub indices: &'a [u32],
+    /// Entry values, parallel to `indices`.
     pub values: &'a [f32],
 }
 

@@ -11,6 +11,8 @@
 //! reproducible from its seed; and the [`parallel`] helpers return results
 //! in input order, so parallel runs are bit-identical to serial ones.
 
+#![warn(missing_docs)]
+
 pub mod csc;
 pub mod csr;
 pub mod dense;

@@ -294,6 +294,78 @@ where
     });
 }
 
+/// Apply `f(i, &mut items[i])` to every element, distributing items over
+/// workers dynamically through a shared work queue (work stealing).
+///
+/// The chunked schedulers above pre-partition the slice into equal
+/// contiguous regions, which is the right shape for uniform data-parallel
+/// kernels but suffers head-of-line blocking when items are few, coarse,
+/// and heterogeneous — e.g. one interactive session round per item, where
+/// a cold session (restore + relearn) can cost 10× a warm one. Here idle
+/// workers keep pulling the next unclaimed item, so stragglers no longer
+/// serialize the batch.
+///
+/// Every item is still processed by exactly one pure `f` call, so results
+/// are bit-identical to the serial loop under any worker count. There is
+/// no [`MIN_PARALLEL_ITEMS`] threshold: callers hand this scheduler
+/// coarse tasks where per-item work dwarfs the queue lock.
+pub fn par_for_each_stealing<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    par_for_each_stealing_with(items, num_threads(), f)
+}
+
+/// [`par_for_each_stealing`] with an explicit worker count (clamped to
+/// `1..=`[`MAX_THREADS`]), for callers that manage their own worker
+/// budget — e.g. a session pool pinning a determinism test to fixed
+/// counts independent of the ambient `NEMO_THREADS` setting.
+pub fn par_for_each_stealing_with<T, F>(items: &mut [T], workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = workers.clamp(1, MAX_THREADS).min(items.len());
+    if threads <= 1 {
+        for (i, x) in items.iter_mut().enumerate() {
+            f(i, x);
+        }
+        return;
+    }
+    // The queue is the iterator itself: each `next()` hands a worker an
+    // exclusive `&mut` to one item, so items never race and the lock is
+    // held only for the handoff, not the work.
+    let queue = std::sync::Mutex::new(items.iter_mut().enumerate());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let queue = &queue;
+                let f = &f;
+                scope.spawn(move || loop {
+                    // A worker panic poisons the queue; fellow workers
+                    // then stop pulling and the panic is re-raised below.
+                    let next = match queue.lock() {
+                        Ok(mut guard) => guard.next(),
+                        Err(_) => None,
+                    };
+                    match next {
+                        Some((i, x)) => f(i, x),
+                        None => break,
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                // Re-raise with the original payload so assertion
+                // messages from worker closures survive.
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
 fn effective_threads(n: usize) -> usize {
     if n < MIN_PARALLEL_ITEMS {
         1
@@ -418,6 +490,45 @@ mod tests {
         let mut a = [0u8; 3];
         let mut b = [0u8; 4];
         par_for_each_fixed_chunk2_mut(&mut a, &mut b, 2, |_, _, _| {});
+    }
+
+    #[test]
+    fn stealing_touches_every_element_once() {
+        for workers in [1usize, 2, 4, 16] {
+            for n in [0usize, 1, 5, 100, 3000] {
+                let mut items: Vec<usize> = vec![0; n];
+                par_for_each_stealing_with(&mut items, workers, |i, x| *x += i + 1);
+                for (i, &x) in items.iter().enumerate() {
+                    assert_eq!(x, i + 1, "workers={workers} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_drains_heterogeneous_queue() {
+        // Items with wildly uneven costs must all complete exactly once.
+        let mut items: Vec<(u64, u64)> = (0..64).map(|i| (i, 0)).collect();
+        par_for_each_stealing_with(&mut items, 4, |_, item| {
+            let spins = if item.0 % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = item.0;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            item.1 = acc | 1;
+        });
+        assert!(items.iter().all(|&(_, done)| done != 0));
+    }
+
+    #[test]
+    fn stealing_default_matches_serial() {
+        let mut a: Vec<u32> = (0..500).collect();
+        let mut b = a.clone();
+        par_for_each_stealing(&mut a, |i, x| *x = x.wrapping_mul(3).wrapping_add(i as u32));
+        for (i, x) in b.iter_mut().enumerate() {
+            *x = x.wrapping_mul(3).wrapping_add(i as u32);
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -50,11 +50,30 @@
 //! assert_eq!(nemo.lineage().len(), 1);
 //! ```
 //!
+//! ## Multi-tenant serving
+//!
+//! Production deployments run many users against one immutable artifact
+//! set: wrap it in [`core::SharedArtifacts`], share it behind an `Arc`,
+//! and let a [`core::SessionPool`] admit, schedule, and checkpoint-evict
+//! sessions (see `docs/ARCHITECTURE.md`):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use nemo::core::{IdpConfig, PoolConfig, SessionPool, SharedArtifacts, SimulatedUser};
+//! use nemo::data::catalog::toy_text;
+//!
+//! let artifacts = Arc::new(SharedArtifacts::new(toy_text(42)));
+//! let mut pool = SessionPool::new(&artifacts, PoolConfig::default());
+//! let id = pool.admit(IdpConfig::default()).unwrap();
+//! pool.run_round(id, &mut SimulatedUser::default()).unwrap();
+//! assert_eq!(pool.with_session(id, |nemo| nemo.iteration()).unwrap(), 1);
+//! ```
+//!
 //! ## Crate map
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`core`] | `nemo-core` | the paper's contribution: SEU selector, LF contextualizer, IDP loop, simulated users, `NemoSystem` |
+//! | [`core`] | `nemo-core` | the paper's contribution: SEU selector, LF contextualizer, IDP loop, simulated users, `NemoSystem`, multi-tenant `SessionPool` over `SharedArtifacts` |
 //! | [`baselines`] | `nemo-baselines` | Snorkel, Snorkel-Abs/Dis, ImplyLoss-L, US, BALD, IWS-LSE, Active WeaSuL, and the unified method runner |
 //! | [`labelmodel`] | `nemo-labelmodel` | majority vote, moment-based (MeTaL-style) and EM label models |
 //! | [`endmodel`] | `nemo-endmodel` | logistic regression on soft labels, Adam, bootstrap ensembles |
@@ -62,7 +81,7 @@
 //! | [`data`] | `nemo-data` | dataset abstraction + the six synthetic catalog datasets |
 //! | [`text`] | `nemo-text` | tokenizer, vocabulary, n-grams, TF-IDF |
 //! | [`sparse`] | `nemo-sparse` | CSR matrices, distances, inverted index, deterministic RNG, stats |
-//! | [`persist`] | `nemo-persist` | crash-safe dataset artifact store + session checkpoint files |
+//! | [`persist`] | `nemo-persist` | crash-safe dataset artifact store, session checkpoint files, durable pool checkpoint stores |
 
 pub use nemo_baselines as baselines;
 pub use nemo_core as core;
