@@ -215,6 +215,8 @@ impl IwsLse {
             .filter(|&j| !queried[j] && usefulness[j] > self.config.include_threshold)
             .collect();
         extra.sort_by(|&a, &b| {
+            // invariant: usefulness scores are logistic outputs in
+            // (0, 1), never NaN.
             usefulness[b].partial_cmp(&usefulness[a]).expect("finite usefulness")
         });
         extra.truncate(confirmed.len());

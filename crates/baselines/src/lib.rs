@@ -18,6 +18,8 @@
 //! runs under the same evaluation protocol and returns a
 //! [`nemo_core::LearningCurve`].
 
+#![warn(missing_docs)]
+
 pub mod active;
 pub mod implyloss;
 pub mod iws;

@@ -6,6 +6,8 @@ use nemo_sparse::{DenseBackend, Distance};
 
 /// Which label model aggregates the weak votes (the paper adopts MeTaL;
 /// alternatives are provided for ablation).
+// lint: allow(doctrine/unregistered-switch): an ablation axis (which
+// estimator), not a fast path vs. reference path — no differential.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LabelModelKind {
     /// Moment-based accuracy estimation with shrinkage (the binary

@@ -29,6 +29,8 @@ use nemo_labelmodel::{FittedLabelModel, LabelModel};
 use nemo_lf::{LabelMatrix, LfColumn, Lineage, PrimitiveLf, TrackedLf};
 use nemo_sparse::parallel::par_map_min;
 use nemo_sparse::stats::percentile_of_sorted;
+// lint: allow(determinism/hash-collections): dedup maps below are
+// lookup-only (entry/or_insert); their iteration order is never observed.
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -517,6 +519,9 @@ impl Contextualizer {
         // the dedup exists for.
         let (mut matrices, valid_matrices) = self.refined_grid_matrices(raw_train, ds.valid.n());
         let repr: Vec<usize> = {
+            // lint: allow(determinism/hash-collections): entry/or_insert
+            // keyed dedup; results read via lookups in grid order, the
+            // map itself is never iterated.
             let mut first_of: HashMap<Vec<usize>, usize> = HashMap::with_capacity(matrices.len());
             matrices
                 .iter()
@@ -584,6 +589,8 @@ impl Contextualizer {
         let score_repr: Vec<usize> = if !dedup_scores {
             (0..p_grid.len()).collect()
         } else {
+            // lint: allow(determinism/hash-collections): keyed dedup,
+            // read via lookups in grid order; never iterated.
             let mut first_of: HashMap<(usize, Vec<usize>), usize> =
                 HashMap::with_capacity(p_grid.len());
             valid_matrices

@@ -128,6 +128,8 @@ impl SimulatedUser {
             FallbackPolicy::Abstain => None,
             FallbackPolicy::BestAvailable => candidates
                 .iter()
+                // invariant: accuracies are empirical ratios in [0, 1],
+                // never NaN, so partial_cmp always succeeds.
                 .max_by(|a, b| a.1.partial_cmp(&b.1).expect("accuracies are finite"))
                 .map(|&(lf, _)| lf),
         }

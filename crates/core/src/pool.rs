@@ -34,8 +34,12 @@
 //! posterior bits — under any worker count and any eviction pattern
 //! (`tests/session_pool_differential.rs`).
 
+// lint: allow(determinism/hash-collections): pool maps are keyed stores
+// and membership sets; iteration order is never observed.
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+// lint: allow(determinism/wall-clock): round_ns telemetry only; eviction
+// uses the logical `clock: u64`, never wall time.
 use std::time::Instant;
 
 use crate::artifacts::SharedArtifacts;
@@ -93,6 +97,8 @@ pub trait CheckpointStore: Send {
 /// processes use `nemo_persist::FileCheckpointStore`.
 #[derive(Debug, Default)]
 pub struct MemoryCheckpointStore {
+    // lint: allow(determinism/hash-collections): keyed store, accessed
+    // only by session id; never iterated.
     slots: HashMap<u64, SessionCheckpoint>,
 }
 
@@ -407,6 +413,8 @@ impl<'a> SessionPool<'a> {
         &mut self,
         jobs: &mut [RoundJob<'_>],
     ) -> Result<Vec<RoundOutcome>, PoolError> {
+        // lint: allow(determinism/hash-collections): membership-only
+        // duplicate check; never iterated.
         let mut seen = HashSet::new();
         for job in jobs.iter() {
             self.check_open(job.id)?;
@@ -460,6 +468,8 @@ impl<'a> SessionPool<'a> {
                 let state = match self.slots[job.id.index()].take().expect("slot open") {
                     Slot::Resident { system, .. } => CellState::Live(system),
                     Slot::Evicted => {
+                        // invariant: pass 1 staged a checkpoint for every
+                        // evicted job before this infallible pass began.
                         CellState::Stored(Box::new(ckpt.expect("pass 1 staged a checkpoint")))
                     }
                 };
@@ -480,6 +490,8 @@ impl<'a> SessionPool<'a> {
         let artifacts = self.artifacts;
         let ctx = &self.config.ctx;
         parallel::par_for_each_stealing_with(&mut cells, workers, |_, cell| {
+            // lint: allow(determinism/wall-clock): round_ns telemetry
+            // only; it never feeds a result-affecting path.
             let timer = Instant::now();
             let mut system = match std::mem::replace(&mut cell.state, CellState::Failed) {
                 CellState::Live(system) => system,

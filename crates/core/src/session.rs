@@ -32,6 +32,9 @@ use nemo_data::Dataset;
 use nemo_labelmodel::Posterior;
 use nemo_lf::{Label, LabelMatrix, LfColumn, Lineage, PrimitiveLf};
 use nemo_sparse::DetRng;
+// lint: allow(determinism/sync-primitives): process-unique id counter
+// for cache-identity tokens; the ids only gate cache validation, they
+// never order or affect results.
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Why a [`SeuAggregates::sync`] fell back to a full rebuild instead of a
@@ -149,6 +152,8 @@ const DIRTY_MAJORITY_NUM: usize = 7;
 const DIRTY_MAJORITY_DEN: usize = 8;
 
 /// Source of process-unique [`SeuAggregates`] identities.
+// lint: allow(determinism/sync-primitives): identity tokens only decide
+// whether a score cache may validate, never what any path computes.
 static NEXT_AGGS_ID: AtomicU64 = AtomicU64::new(1);
 
 impl Clone for SeuAggregates {
@@ -310,6 +315,8 @@ impl SeuAggregates {
             match reason {
                 RebuildReason::DirtyMajority => self.rebuilds_dirty_majority += 1,
                 RebuildReason::DriftBound => self.rebuilds_drift_bound += 1,
+                // invariant: `reason` is built just above from the two
+                // sync triggers; Initial is constructor-only.
                 RebuildReason::Initial => unreachable!("sync never reports Initial"),
             }
             self.rebuild(ds, outputs);

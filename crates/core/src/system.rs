@@ -149,10 +149,10 @@ impl<'a> NemoSystem<'a> {
                 // Multi-LF submissions share the pending example; an
                 // empty answer consumes the iteration like a skip.
                 let lfs = self.session.develop(x, user);
-                // invariant: users develop LFs over real primitives, and
-                // `x` is the reservation this round just made.
                 self.session
                     .submit(lfs.clone(), &mut self.pipeline)
+                    // invariant: users develop LFs over real primitives,
+                    // and `x` is the reservation this round just made.
                     .expect("round submits its own suggestion");
                 lfs
             }

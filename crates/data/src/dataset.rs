@@ -182,6 +182,8 @@ impl Features {
                 scratch,
                 out,
             ),
+            // invariant: the constructor builds a CscIndex whenever the
+            // split has no dense mirror.
             (None, None) => unreachable!("sparse-backed features always carry a CscIndex"),
         }
     }
@@ -222,6 +224,8 @@ impl Features {
                 csc,
                 &self.sq_norms,
             ),
+            // invariant: the constructor builds a CscIndex whenever the
+            // split has no dense mirror.
             (None, None) => unreachable!("sparse-backed features always carry a CscIndex"),
         }
     }

@@ -16,6 +16,8 @@
 //! - [`catalog`] — named dataset specs matching Table 1, with scale
 //!   profiles for fast benchmarking.
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod dataset;
 pub mod mixture;

@@ -99,6 +99,7 @@ fn zipf_cumulative(n: usize, s: f64) -> Vec<f64> {
 }
 
 fn sample_cumulative(cum: &[f64], rng: &mut DetRng) -> usize {
+    // invariant: callers build `cum` with at least one weight.
     let total = *cum.last().expect("non-empty cumulative table");
     let u = rng.uniform() * total;
     cum.partition_point(|&c| c < u).min(cum.len() - 1)

@@ -11,6 +11,8 @@
 //! (shared with the ImplyLoss baseline) and bootstrap ensembles with the
 //! BALD mutual-information score for the Bayesian active-learning baseline.
 
+#![warn(missing_docs)]
+
 pub mod ensemble;
 pub mod logreg;
 pub mod optim;

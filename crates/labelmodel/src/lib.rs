@@ -20,6 +20,8 @@
 //! score *any* label matrix over the same LFs (e.g. the validation split,
 //! which the contextualizer's percentile tuner uses).
 
+#![warn(missing_docs)]
+
 pub mod generative;
 pub mod majority;
 pub mod posterior;

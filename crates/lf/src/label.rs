@@ -58,6 +58,7 @@ impl Label {
         match i {
             0 => Label::Neg,
             1 => Label::Pos,
+            // invariant: callers index with argmax over 2 classes.
             _ => panic!("label index {i} out of range"),
         }
     }

@@ -7,6 +7,8 @@
 //! applying LFs to the unlabeled set, and the data-to-LF lineage record
 //! that Nemo's contextualizer consumes.
 
+#![warn(missing_docs)]
+
 pub mod apply;
 pub mod label;
 pub mod lf;

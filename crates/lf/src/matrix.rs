@@ -9,10 +9,15 @@
 use crate::apply::PrimitiveCorpus;
 use crate::label::Vote;
 use crate::lf::PrimitiveLf;
+// lint: allow(determinism/sync-primitives): process-unique construction
+// tokens for cache identity; they only gate cache validation and never
+// affect what any path computes.
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Source of process-unique [`LfColumn`] construction tokens.
+// lint: allow(determinism/sync-primitives): identity tokens only decide
+// whether a score cache may validate, never what any path computes.
 static NEXT_COLUMN_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_token() -> u64 {

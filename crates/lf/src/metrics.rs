@@ -118,6 +118,7 @@ pub fn best_f1_threshold(p_pos: &[f64], gold: &[Label]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..p_pos.len()).collect();
+    // invariant: posteriors are probabilities in [0, 1], never NaN.
     order.sort_by(|&a, &b| p_pos[a].partial_cmp(&p_pos[b]).expect("finite probabilities"));
     let total_pos = gold.iter().filter(|&&g| g == Label::Pos).count();
     if total_pos == 0 || total_pos == gold.len() {

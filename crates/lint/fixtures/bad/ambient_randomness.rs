@@ -1,0 +1,5 @@
+// Bad: ambient randomness in a determinism-critical crate.
+pub fn pick(n: usize) -> usize {
+    let mut rng = thread_rng();
+    rng.gen_range(0..n)
+}

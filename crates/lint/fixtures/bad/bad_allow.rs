@@ -1,0 +1,9 @@
+// Bad: malformed and unknown allow annotations.
+// lint: allow(determinism/hash-collections)
+pub fn a() {}
+
+// lint: allow(not/a-rule): some reason.
+pub fn b() {}
+
+// lint: allow(panic/unwrap):
+pub fn c() {}

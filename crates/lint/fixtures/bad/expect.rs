@@ -1,0 +1,4 @@
+// Bad: bare expect in production code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().expect("non-empty")
+}

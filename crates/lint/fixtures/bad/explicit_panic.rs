@@ -1,0 +1,16 @@
+// Bad: unjustified panic and unreachable.
+pub fn pick(i: usize) -> u32 {
+    match i {
+        0 => 1,
+        1 => 2,
+        _ => panic!("index {i} out of range"),
+    }
+}
+
+pub fn never(flag: bool) -> u32 {
+    if flag {
+        3
+    } else {
+        unreachable!()
+    }
+}

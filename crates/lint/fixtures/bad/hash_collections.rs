@@ -1,0 +1,10 @@
+// Bad: HashMap in a determinism-critical crate with no annotation.
+use std::collections::HashMap;
+
+pub fn count(keys: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m.len()
+}

@@ -1,0 +1,8 @@
+// Bad: Mutex and an atomic outside the scheduler modules.
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+pub struct Shared {
+    lock: Mutex<Vec<u64>>,
+    counter: AtomicU64,
+}

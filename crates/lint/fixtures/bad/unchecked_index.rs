@@ -1,0 +1,8 @@
+// Bad: unchecked indexing without a justification.
+pub fn sum(xs: &[f32], idx: &[usize]) -> f32 {
+    let mut acc = 0.0;
+    for &i in idx {
+        acc += unsafe { *xs.get_unchecked(i) };
+    }
+    acc
+}

@@ -1,0 +1,4 @@
+// Bad: bare unwrap in production code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

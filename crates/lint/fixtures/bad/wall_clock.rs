@@ -1,0 +1,6 @@
+// Bad: wall-clock read in a determinism-critical crate.
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

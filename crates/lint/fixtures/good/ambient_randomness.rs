@@ -1,0 +1,6 @@
+// Good: all randomness flows through the seeded deterministic RNG.
+use nemo_sparse::DetRng;
+
+pub fn pick(rng: &mut DetRng, n: usize) -> usize {
+    rng.index(n)
+}

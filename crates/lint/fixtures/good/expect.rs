@@ -1,0 +1,5 @@
+// Good: expect justified by an adjacent invariant.
+pub fn first(xs: &[u32]) -> u32 {
+    // invariant: callers validate non-emptiness at the boundary.
+    *xs.first().expect("non-empty")
+}

@@ -1,0 +1,9 @@
+// Good: panics carry their invariants.
+pub fn pick(i: usize) -> u32 {
+    match i {
+        0 => 1,
+        1 => 2,
+        // invariant: callers index with argmax over 2 classes.
+        _ => panic!("index {i} out of range"),
+    }
+}

@@ -1,0 +1,17 @@
+// Good: ordered collection, plus an annotated lookup-only map.
+use std::collections::BTreeMap;
+// lint: allow(determinism/hash-collections): membership-only set, never
+// iterated.
+use std::collections::HashSet;
+
+pub fn count(keys: &[u32]) -> usize {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    let mut seen = HashSet::new(); // lint: allow(determinism/hash-collections): membership only.
+    for &k in keys {
+        seen.insert(k);
+    }
+    m.len()
+}

@@ -1,0 +1,22 @@
+// Good: banned tokens inside strings, comments, and test code never fire.
+pub fn describe() -> &'static str {
+    // A doc string mentioning HashMap, Instant, thread_rng, Mutex, and
+    // .unwrap() is not a use of any of them.
+    "HashMap Instant thread_rng Mutex .unwrap() panic!"
+}
+
+pub fn raw() -> &'static str {
+    r#"SystemTime "quoted" HashSet .expect( get_unchecked"#
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_use_anything() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}

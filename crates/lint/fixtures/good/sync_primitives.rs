@@ -1,0 +1,10 @@
+// Good: annotated identity-token atomic (cache identity, not results).
+// lint: allow(determinism/sync-primitives): process-unique id counter
+// for cache identity; never affects what any path computes.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1); // lint: allow(determinism/sync-primitives): identity token only.
+
+pub fn fresh_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}

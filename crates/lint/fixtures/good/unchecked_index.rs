@@ -1,0 +1,10 @@
+// Good: unchecked indexing justified by an adjacent invariant.
+pub fn sum(xs: &[f32], idx: &[usize]) -> f32 {
+    let mut acc = 0.0;
+    for &i in idx {
+        // invariant: idx entries are validated against xs.len() by the
+        // index constructor.
+        acc += unsafe { *xs.get_unchecked(i) };
+    }
+    acc
+}

@@ -1,0 +1,14 @@
+// Good: unwrap justified by an adjacent invariant; test code exempt.
+pub fn first(xs: &[u32]) -> u32 {
+    // invariant: callers validate non-emptiness at the boundary.
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let xs = vec![1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+// Good: logical clock for ordering; annotated telemetry-only timer.
+// lint: allow(determinism/wall-clock): telemetry only, never feeds a
+// result-affecting path.
+use std::time::Instant;
+
+pub fn stamp(clock: &mut u64) -> u64 {
+    *clock += 1;
+    *clock
+}
+
+pub fn telemetry_ns() -> u128 {
+    // lint: allow(determinism/wall-clock): telemetry only.
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,95 @@
+//! `nemo-lint` CLI: run the doctrine gates over the workspace.
+//!
+//! Usage: `cargo run -p nemo-lint -- [--deny] [--root <dir>] [--list-rules]`
+//!
+//! Findings print as `file:line: rule-id: message`, one per line. With
+//! `--deny`, any finding makes the process exit nonzero (the CI gate);
+//! without it the pass is advisory.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("nemo-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: nemo-lint [--deny] [--root <dir>] [--list-rules]");
+                println!("  --deny        exit nonzero if any finding is reported");
+                println!("  --root <dir>  workspace root (default: discovered from cwd)");
+                println!("  --list-rules  print the rule catalog and exit");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("nemo-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in nemo_lint::ALL_RULES {
+            println!("{}", rule.as_str());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("nemo-lint: cannot read current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match nemo_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "nemo-lint: no workspace root (Cargo.lock + crates/) above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let findings = match nemo_lint::check_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("nemo-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        eprintln!("nemo-lint: ok ({} rules, 0 findings)", nemo_lint::ALL_RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("nemo-lint: {} finding(s)", findings.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Comment/string-aware classification of Rust source.
+//!
+//! The rule engine must not fire on `HashMap` inside a string literal or
+//! an `.unwrap()` mentioned in a doc comment, and must skip
+//! `#[cfg(test)]` items entirely (the doctrine only constrains
+//! production code). This module splits a source file into per-line
+//! *code text* (literal contents and comments blanked out) and *comment
+//! text* (the bodies of `//`/`/* */` comments, which is where the
+//! `// invariant:` and `// lint: allow(...)` justifications live), and
+//! marks the line ranges covered by `#[cfg(test)]` items.
+//!
+//! This is a token-level scanner, not a parser: it tracks exactly the
+//! lexical state needed to tell code from non-code — line and (nested)
+//! block comments, string/raw-string/byte-string literals, char literals
+//! versus lifetimes — and nothing more.
+
+/// One classified source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line's code, with comments and the contents of string/char
+    /// literals replaced by spaces (delimiters kept, so token boundaries
+    /// survive).
+    pub code: String,
+    /// The concatenated bodies of comments on this line.
+    pub comment: String,
+    /// Whether the line lies inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comments; the payload is the nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Raw (byte) string; the payload is the number of `#` delimiters.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Classify `source` into per-line code/comment text and test regions.
+pub fn classify(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let n = chars.len();
+    // The last code character emitted, used to tell a raw-string prefix
+    // (`r"`, `br#"`) from an identifier that merely ends in `r`/`b`.
+    let mut prev_code: char = ' ';
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let c2 = chars.get(i + 1).copied().unwrap_or('\0');
+                if c == '/' && c2 == '/' {
+                    state = State::LineComment;
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && c2 == '*' {
+                    state = State::BlockComment(1);
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    // A `"` in code opens a string; raw strings are
+                    // recognized below at their `r`/`b` prefix.
+                    state = State::Str;
+                    cur.code.push('"');
+                    prev_code = '"';
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !is_ident(prev_code) {
+                    // Possible raw-string / byte-string / byte-char
+                    // prefix: r", r#", br", b", b'.
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let has_r = c == 'r' || chars.get(i + 1) == Some(&'r');
+                    if has_r && chars.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            cur.code.push(' ');
+                        }
+                        cur.code.pop();
+                        cur.code.push('"');
+                        state = State::RawStr(hashes);
+                        prev_code = '"';
+                        i = j + 1;
+                    } else if c == 'b' && hashes == 0 && chars.get(i + 1) == Some(&'"') {
+                        cur.code.push_str(" \"");
+                        state = State::Str;
+                        prev_code = '"';
+                        i += 2;
+                    } else if c == 'b' && hashes == 0 && chars.get(i + 1) == Some(&'\'') {
+                        cur.code.push_str(" '");
+                        state = State::CharLit;
+                        prev_code = '\'';
+                        i += 2;
+                    } else {
+                        cur.code.push(c);
+                        prev_code = c;
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime. A char literal is either
+                    // an escape (`'\n'`, `'\u{1F600}'`) or exactly one
+                    // character followed by a closing quote.
+                    let next = chars.get(i + 1).copied();
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    cur.code.push('\'');
+                    prev_code = '\'';
+                    i += 1;
+                    if is_char {
+                        state = State::CharLit;
+                    }
+                } else {
+                    cur.code.push(c);
+                    prev_code = c;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let c2 = chars.get(i + 1).copied().unwrap_or('\0');
+                if c == '*' && c2 == '/' {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else if c == '/' && c2 == '*' {
+                    state = State::BlockComment(depth + 1);
+                    cur.comment.push(' ');
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    cur.code.push('"');
+                    prev_code = '"';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        cur.code.push('"');
+                        for _ in 0..hashes {
+                            cur.code.push(' ');
+                        }
+                        prev_code = '"';
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    prev_code = '\'';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Whether `c` can appear in an identifier.
+pub fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `word` occurs in `code` as a standalone identifier (not as a
+/// substring of a longer identifier).
+pub fn has_ident(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(at) = code[from..].find(word) {
+        let start = from + at;
+        let end = start + word.len();
+        let before_ok = start == 0 || !is_ident(bytes[start - 1] as char);
+        let after_ok = end >= code.len() || !is_ident(bytes[end] as char);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// Mark the line ranges covered by `#[cfg(test)]` items. After the
+/// attribute, everything up to the end of the next item — the matching
+/// close of its first `{`, or a `;` for a braceless item — is test code.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].in_test && lines[i].code.contains("#[cfg(test)") {
+            lines[i].in_test = true;
+            let mut depth = 0usize;
+            let mut opened = false;
+            'outer: for line in lines.iter_mut().skip(i) {
+                line.in_test = true;
+                for c in line.code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth == 0 {
+                                break 'outer;
+                            }
+                        }
+                        ';' if !opened => break 'outer,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let lines = classify("let x = \"HashMap\"; // uses unwrap()\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = classify("let s = r#\"Mutex \"quoted\" Instant\"#; let t = Mutex;\n");
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(has_ident(&lines[0].code, "Mutex"), "code after the raw string survives");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = classify("fn f<'a>(x: &'a str) -> char { 'x' }\nlet y = '\\n';\n");
+        assert!(lines[0].code.contains("'a"), "lifetimes stay in code");
+        assert!(!lines[0].code.contains('x') || lines[0].code.contains("x:"), "char blanked");
+        assert!(lines[1].code.contains("''") || lines[1].code.contains("'  '"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = classify("/* outer /* inner */ still comment */ let a = 1;\n");
+        assert!(lines[0].code.contains("let a = 1;"));
+        assert!(!lines[0].code.contains("outer"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn prod2() {}\n";
+        let lines = classify(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn ident_boundaries() {
+        assert!(has_ident("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_ident("let MyHashMap = 1;", "HashMap"));
+        assert!(!has_ident("hash_map()", "HashMap"));
+    }
+}

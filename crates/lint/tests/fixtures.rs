@@ -1,0 +1,144 @@
+//! Per-rule fixture self-tests: every bad fixture produces exactly the
+//! expected rule ids at the expected lines, every good fixture is clean,
+//! and path scoping (determinism crates, sync-allowed modules, exempt
+//! crates, test code) behaves as documented.
+
+use nemo_lint::rules::check_source;
+use nemo_lint::RuleId;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    // invariant: fixtures ship with the crate; a missing one is a bug in
+    // the test, not a runtime condition.
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Run a fixture as if it lived at `path` and return `(rule, line)`
+/// pairs.
+fn run(path: &str, name: &str) -> Vec<(RuleId, usize)> {
+    check_source(path, &fixture(name)).into_iter().map(|f| (f.rule, f.line)).collect()
+}
+
+const DET_PATH: &str = "crates/core/src/fixture.rs";
+
+#[test]
+fn bad_hash_collections() {
+    let got = run(DET_PATH, "bad/hash_collections.rs");
+    assert_eq!(got, vec![(RuleId::DetHashCollections, 2), (RuleId::DetHashCollections, 5)]);
+}
+
+#[test]
+fn bad_wall_clock() {
+    let got = run(DET_PATH, "bad/wall_clock.rs");
+    assert_eq!(got, vec![(RuleId::DetWallClock, 2), (RuleId::DetWallClock, 5)]);
+}
+
+#[test]
+fn bad_ambient_randomness() {
+    let got = run(DET_PATH, "bad/ambient_randomness.rs");
+    assert_eq!(got, vec![(RuleId::DetAmbientRandomness, 3)]);
+}
+
+#[test]
+fn bad_sync_primitives() {
+    let got = run(DET_PATH, "bad/sync_primitives.rs");
+    assert_eq!(
+        got,
+        vec![
+            (RuleId::DetSyncPrimitives, 2),
+            (RuleId::DetSyncPrimitives, 3),
+            (RuleId::DetSyncPrimitives, 6),
+            (RuleId::DetSyncPrimitives, 7),
+        ]
+    );
+}
+
+#[test]
+fn bad_unwrap() {
+    let got = run(DET_PATH, "bad/unwrap.rs");
+    assert_eq!(got, vec![(RuleId::PanicUnwrap, 3)]);
+}
+
+#[test]
+fn bad_expect() {
+    let got = run(DET_PATH, "bad/expect.rs");
+    assert_eq!(got, vec![(RuleId::PanicExpect, 3)]);
+}
+
+#[test]
+fn bad_explicit_panic() {
+    let got = run(DET_PATH, "bad/explicit_panic.rs");
+    assert_eq!(got, vec![(RuleId::PanicExplicit, 6), (RuleId::PanicExplicit, 14)]);
+}
+
+#[test]
+fn bad_unchecked_index() {
+    let got = run(DET_PATH, "bad/unchecked_index.rs");
+    assert_eq!(got, vec![(RuleId::PanicUncheckedIndex, 5)]);
+}
+
+#[test]
+fn bad_allow_annotations() {
+    let got = run(DET_PATH, "bad/bad_allow.rs");
+    assert_eq!(got, vec![(RuleId::BadAllow, 2), (RuleId::BadAllow, 5), (RuleId::BadAllow, 8)]);
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    for name in [
+        "good/hash_collections.rs",
+        "good/wall_clock.rs",
+        "good/ambient_randomness.rs",
+        "good/sync_primitives.rs",
+        "good/unwrap.rs",
+        "good/expect.rs",
+        "good/explicit_panic.rs",
+        "good/unchecked_index.rs",
+        "good/strings_and_tests.rs",
+    ] {
+        let got = run(DET_PATH, name);
+        assert!(got.is_empty(), "{name} should be clean, got {got:?}");
+    }
+}
+
+#[test]
+fn determinism_rules_scope_to_determinism_crates() {
+    // The same HashMap fixture is fine in a non-determinism crate…
+    assert!(run("crates/persist/src/fixture.rs", "bad/hash_collections.rs").is_empty());
+    // …and everything is fine in the exempt crates.
+    assert!(run("crates/bench/src/fixture.rs", "bad/sync_primitives.rs").is_empty());
+    assert!(run("crates/proptest/src/fixture.rs", "bad/unwrap.rs").is_empty());
+    // Integration tests are not production code.
+    assert!(run("tests/fixture.rs", "bad/unwrap.rs").is_empty());
+}
+
+#[test]
+fn sync_primitives_allowed_in_scheduler_modules() {
+    assert!(run("crates/sparse/src/parallel.rs", "bad/sync_primitives.rs").is_empty());
+    assert!(run("crates/core/src/pool.rs", "bad/sync_primitives.rs").is_empty());
+}
+
+#[test]
+fn panic_rules_apply_outside_determinism_scope_too() {
+    let got = run("crates/persist/src/fixture.rs", "bad/unwrap.rs");
+    assert_eq!(got, vec![(RuleId::PanicUnwrap, 3)]);
+}
+
+#[test]
+fn family_allow_suppresses_member_rule() {
+    let src = "// lint: allow(determinism): fixture-wide exemption for this test.\n\
+               use std::collections::HashMap;\n";
+    assert!(check_source(DET_PATH, src).is_empty());
+}
+
+#[test]
+fn justification_window_is_bounded() {
+    // The invariant comment sits 4 lines above the unwrap: out of range.
+    let src = "// invariant: too far away to count.\n\
+               //\n\
+               //\n\
+               //\n\
+               pub fn f(xs: &[u32]) -> u32 { *xs.first().unwrap() }\n";
+    let got: Vec<_> = check_source(DET_PATH, src).into_iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(got, vec![(RuleId::PanicUnwrap, 5)]);
+}

@@ -106,6 +106,8 @@ impl CscIndex {
         if rows.len() != values.len() {
             return Err("CSC row/value buffer length mismatch");
         }
+        // invariant: `first()` above returned Some, so the vec is
+        // non-empty and `last()` cannot fail.
         if *offsets.last().expect("checked non-empty above") != rows.len() {
             return Err("CSC final offset must equal nnz");
         }

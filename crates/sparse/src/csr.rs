@@ -41,6 +41,8 @@ impl SparseVec {
         for (i, v) in pairs {
             assert!((i as usize) < dim, "index {i} out of dim {dim}");
             if indices.last() == Some(&i) {
+                // invariant: indices and values grow in lockstep, so a
+                // non-empty indices implies a non-empty values.
                 *values.last_mut().expect("values non-empty") += v;
             } else {
                 indices.push(i);
@@ -274,6 +276,8 @@ impl CsrMatrix {
         if indices.len() != values.len() {
             return Err("CSR index/value buffer length mismatch");
         }
+        // invariant: `first()` above returned Some, so the vec is
+        // non-empty and `last()` cannot fail.
         if *row_offsets.last().expect("checked non-empty above") != indices.len() {
             return Err("CSR final row offset must equal nnz");
         }

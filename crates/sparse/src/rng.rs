@@ -193,6 +193,8 @@ impl DetRng {
         weights
             .iter()
             .rposition(|&w| clean(w) > 0.0)
+            // invariant: the caller-facing precondition (asserted above)
+            // is a positive total weight, so some weight is positive.
             .expect("choose_weighted: positive weight must exist")
     }
 

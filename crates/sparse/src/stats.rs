@@ -41,6 +41,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile p out of range: {p}");
     let mut sorted = values.to_vec();
+    // invariant: inputs are distances, which the kernels keep finite.
     sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
     percentile_of_sorted(&sorted, p)
 }

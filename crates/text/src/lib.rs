@@ -8,6 +8,8 @@
 //! examples (Sec. 5.1). This crate provides exactly that pipeline, plus the
 //! n-gram generalization the primitive-based LF family admits (Sec. 4).
 
+#![warn(missing_docs)]
+
 pub mod ngram;
 pub mod tfidf;
 pub mod tokenize;

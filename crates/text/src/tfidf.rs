@@ -6,7 +6,7 @@
 //! default, which makes cosine distance equal to 1 − dot product).
 
 use nemo_sparse::{CsrMatrix, SparseVec};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration for [`TfIdf`].
 #[derive(Debug, Clone)]
@@ -138,7 +138,7 @@ impl TfIdfModel {
 
     /// Transform one document (token-id sequence) into a sparse vector.
     pub fn transform_doc(&self, doc: &[u32]) -> SparseVec {
-        let mut counts: HashMap<u32, u32> = HashMap::with_capacity(doc.len());
+        let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
         for &t in doc {
             debug_assert!((t as usize) < self.n_features);
             *counts.entry(t).or_insert(0) += 1;

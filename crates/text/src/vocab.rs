@@ -5,12 +5,12 @@
 //! doubles as the primitive domain `Z` for keyword LFs: primitive id ==
 //! token id.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bidirectional token ↔ dense-id mapping.
 #[derive(Debug, Clone, Default)]
 pub struct Vocab {
-    token_to_id: HashMap<String, u32>,
+    token_to_id: BTreeMap<String, u32>,
     id_to_token: Vec<String>,
 }
 
@@ -29,7 +29,7 @@ impl Vocab {
         D: IntoIterator<Item = &'a str>,
     {
         // First pass: document frequencies in first-seen order.
-        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut df: BTreeMap<String, usize> = BTreeMap::new();
         let mut order: Vec<String> = Vec::new();
         for doc in docs.clone() {
             let mut seen: Vec<&str> = doc.into_iter().collect();

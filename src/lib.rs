@@ -83,6 +83,8 @@
 //! | [`sparse`] | `nemo-sparse` | CSR matrices, distances, inverted index, deterministic RNG, stats |
 //! | [`persist`] | `nemo-persist` | crash-safe dataset artifact store, session checkpoint files, durable pool checkpoint stores |
 
+#![warn(missing_docs)]
+
 pub use nemo_baselines as baselines;
 pub use nemo_core as core;
 pub use nemo_data as data;
