@@ -1620,6 +1620,161 @@ fn session_pool_bench(ds: &Dataset, results: &mut Vec<BenchResult>) -> String {
     json
 }
 
+/// IWS candidate-ranking engine vs the reference SEU engine: end-model
+/// test accuracy per oracle query, same dataset, same seed, same
+/// simulated user, one query per round. Both engines run through the
+/// unified `SelectionEngine` API on bare `NemoSystem`s; the IWS run is
+/// additionally checkpointed mid-stream and resumed, and the resumed
+/// final score is asserted bit-identical (the determinism the engine
+/// state section exists for).
+///
+/// At this query budget the paper's ordering holds: IWS's learned
+/// candidate ranker sits near the IWS-LSE baseline (~0.47–0.55 on the
+/// quick profile — it needs hundreds of answers before its usefulness
+/// model ranks well), while SEU's user-model-guided development reaches
+/// ~0.63 (Table 2's gap). With `NEMO_BENCH_ENFORCE` set, the gate pins
+/// exactly that: SEU clears an absolute floor, SEU's score-per-query
+/// stays ahead of IWS's, and the IWS loop is non-degenerate (both accept
+/// and reject feedback occurred) — every quantity here is deterministic,
+/// so the gate cannot flake on timing noise.
+fn iws_rank_bench(ds: &Dataset, results: &mut Vec<BenchResult>) -> String {
+    const ROUNDS: usize = 25;
+    const SEED: u64 = 17;
+    let cfg = |selection| IdpConfig {
+        selection,
+        n_iterations: ROUNDS,
+        eval_every: 5,
+        seed: SEED,
+        ..IdpConfig::default()
+    };
+
+    let run = |selection| {
+        let mut nemo = NemoSystem::new(ds, cfg(selection));
+        let mut user = SimulatedUser::default();
+        let mut round_ns: Vec<u64> = Vec::new();
+        let mut curve = nemo_core::idp::LearningCurve::default();
+        let mut accepts = 0usize;
+        for t in 0..ROUNDS {
+            let before = nemo.lineage().len();
+            let clock = Instant::now();
+            nemo.step_with_user(&mut user).expect("bench round");
+            round_ns.push(clock.elapsed().as_nanos() as u64);
+            accepts += usize::from(nemo.lineage().len() > before);
+            if (t + 1) % 5 == 0 {
+                curve.push(t + 1, nemo.test_score());
+            }
+        }
+        (nemo.test_score(), curve, round_ns, accepts)
+    };
+    use nemo_core::config::SelectionStrategy;
+    let (seu_final, seu_curve, seu_ns, _) = run(SelectionStrategy::Seu);
+    let (iws_final, iws_curve, iws_ns, iws_accepts) = run(SelectionStrategy::Iws);
+
+    // Mid-stream checkpoint/restore of the IWS run must land on the same
+    // bits as the uninterrupted run — asserted unconditionally, like the
+    // other sections' correctness checks.
+    let resumed_final = {
+        let mut nemo = NemoSystem::new(ds, cfg(SelectionStrategy::Iws));
+        let mut user = SimulatedUser::default();
+        for _ in 0..ROUNDS / 2 {
+            nemo.step_with_user(&mut user).expect("pre-checkpoint round");
+        }
+        let ckpt = nemo.checkpoint();
+        let mut resumed = NemoSystem::restore(ds, &ckpt).expect("restore IWS engine");
+        let mut fresh = SimulatedUser::default();
+        for _ in ROUNDS / 2..ROUNDS {
+            resumed.step_with_user(&mut fresh).expect("post-restore round");
+        }
+        resumed.test_score()
+    };
+    assert_eq!(
+        iws_final.to_bits(),
+        resumed_final.to_bits(),
+        "restored IWS run diverged from the uninterrupted run"
+    );
+
+    let mean_ns = |ns: &[u64]| ns.iter().sum::<u64>() as f64 / ns.len() as f64;
+    let min_ns = |ns: &[u64]| ns.iter().copied().min().expect("rounds ran") as f64;
+    let (seu_mean, iws_mean) = (mean_ns(&seu_ns), mean_ns(&iws_ns));
+    // Each round costs exactly one oracle query in both engines, so
+    // score-per-query is the final score over the query budget.
+    let seu_per_query = seu_final / ROUNDS as f64;
+    let iws_per_query = iws_final / ROUNDS as f64;
+
+    println!(
+        "\nIWS candidate ranking vs SEU ({} {}, {ROUNDS} oracle queries):",
+        ds.name,
+        ds.train.n()
+    );
+    println!(
+        "  SEU final test score   : {seu_final:.4}  ({seu_per_query:.5}/query, {} per round)",
+        human(seu_mean)
+    );
+    println!(
+        "  IWS final test score   : {iws_final:.4}  ({iws_per_query:.5}/query, {} per round, \
+         {iws_accepts}/{ROUNDS} accepts)",
+        human(iws_mean)
+    );
+    println!("  mid-stream restore     : bit-identical final score");
+    if std::env::var("NEMO_BENCH_ENFORCE").is_ok() {
+        // Deterministic gates (see the fn docs): the committed
+        // quick-profile numbers are SEU 0.6278 vs IWS ~0.47 at this
+        // budget — the paper's ordering.
+        assert!(
+            seu_final >= 0.55,
+            "regression: SEU reference run scored {seu_final:.4} (< 0.55 floor)"
+        );
+        assert!(
+            seu_per_query >= iws_per_query,
+            "regression: IWS score-per-query ({iws_per_query:.5}) overtook SEU \
+             ({seu_per_query:.5}) — the Table 2 ordering inverted; recheck both engines"
+        );
+        assert!(
+            iws_accepts > 0 && iws_accepts < ROUNDS,
+            "regression: degenerate IWS loop ({iws_accepts}/{ROUNDS} accepts) — the user \
+             model never saw both feedback kinds"
+        );
+    }
+
+    let curve_json = |curve: &nemo_core::idp::LearningCurve| {
+        let pts: Vec<String> =
+            curve.points().iter().map(|&(i, s)| format!("[{i}, {s:.6}]")).collect();
+        format!("[{}]", pts.join(", "))
+    };
+    let json = format!(
+        concat!(
+            "{{\"rounds\": {}, \"seu_final\": {:.6}, \"iws_final\": {:.6}, ",
+            "\"seu_per_query\": {:.6}, \"iws_per_query\": {:.6}, ",
+            "\"iws_accepts\": {}, \"seu_round_ns\": {:.0}, \"iws_round_ns\": {:.0}, ",
+            "\"restore_bit_identical\": true, ",
+            "\"seu_curve\": {}, \"iws_curve\": {}}}"
+        ),
+        ROUNDS,
+        seu_final,
+        iws_final,
+        seu_per_query,
+        iws_per_query,
+        iws_accepts,
+        seu_mean,
+        iws_mean,
+        curve_json(&seu_curve),
+        curve_json(&iws_curve),
+    );
+    results.push(BenchResult {
+        name: "seu_engine_round",
+        iters: seu_ns.len() as u32,
+        mean_ns: seu_mean,
+        min_ns: min_ns(&seu_ns),
+    });
+    results.push(BenchResult {
+        name: "iws_engine_round",
+        iters: iws_ns.len() as u32,
+        mean_ns: iws_mean,
+        min_ns: min_ns(&iws_ns),
+    });
+    json
+}
+
 /// Mean time of a named kernel result (panics if the kernel wasn't run).
 fn mean_of(results: &[BenchResult], name: &str) -> f64 {
     results.iter().find(|r| r.name == name).map(|r| r.mean_ns).expect("kernel benched")
@@ -1760,6 +1915,7 @@ fn main() {
     let indexed_sharded_json = indexed_sharded_bench(&mut results);
     let artifact_json = artifact_load_bench(profile, &mut results);
     let pool_json = session_pool_bench(&ds, &mut results);
+    let iws_rank_json = iws_rank_bench(&ds, &mut results);
     let loop_json = seu_loop_bench(&ds, &trajectory);
     let (dirty_json, seu_full_round_ns, seu_dirty_round_ns) = seu_dirty_bench(&ds, &trajectory);
     let refine_json = refine_cache_bench(&ds, &session_lineage, &mut results);
@@ -1798,6 +1954,7 @@ fn main() {
     json.push_str(&format!("  \"indexed_sharded\": {indexed_sharded_json},\n"));
     json.push_str(&format!("  \"artifact_load\": {artifact_json},\n"));
     json.push_str(&format!("  \"session_pool\": {pool_json},\n"));
+    json.push_str(&format!("  \"iws_rank\": {iws_rank_json},\n"));
     json.push_str(&format!("  \"seu_loop\": {loop_json},\n"));
     json.push_str(&format!("  \"seu_dirty\": {dirty_json},\n"));
     json.push_str(&format!("  \"refine_cache\": {refine_json},\n"));

@@ -215,6 +215,42 @@ impl PosteriorDedup {
     }
 }
 
+/// Which selection engine drives the interactive loop.
+///
+/// Both engines plug into the same [`crate::Session`] state machine, feed
+/// accepted LFs through the contextualizer identically, and checkpoint /
+/// restore bit-identically through [`crate::SessionCheckpoint`]; the
+/// switch changes *what the user is asked each round*, not any learning
+/// semantics downstream of the answer. SEU is the paper's protocol and
+/// the reference path (`tests/iws_engine_differential.rs` pins the IWS
+/// engine's trajectories across thread counts, checkpoint/restore, and
+/// pool churn); the `iws_rank` bench section records end-model accuracy
+/// per oracle query for both engines Table-5-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// SEU development-example selection: the engine picks the most
+    /// useful unlabeled example and the user authors an LF for it — the
+    /// paper's protocol and the reference path.
+    #[default]
+    Seu,
+    /// IWS learned LF-candidate ranking (Boecking et al.): the engine
+    /// enumerates keyword-LF candidates from the vocabulary, ranks them
+    /// with a bootstrap-committee user model updated online from
+    /// accept/reject feedback, and asks the user only to judge the
+    /// top-ranked candidate each round.
+    Iws,
+}
+
+impl SelectionStrategy {
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectionStrategy::Seu => "seu",
+            SelectionStrategy::Iws => "iws-rank",
+        }
+    }
+}
+
 /// Contextualizer settings (paper Sec. 4.3).
 #[derive(Debug, Clone)]
 pub struct ContextualizerConfig {
@@ -273,6 +309,9 @@ pub struct IdpConfig {
     /// LFs the user may return per iteration (1 = the paper's atomic
     /// setting; >1 enables the Sec. 7 multi-LF extension).
     pub lfs_per_iteration: usize,
+    /// Which selection engine drives the loop (SEU example selection —
+    /// the reference path — or IWS learned LF-candidate ranking).
+    pub selection: SelectionStrategy,
     /// Master seed for the run.
     pub seed: u64,
     /// Snapshot cadence for crash recovery: `Some(k)` asks the driver to
@@ -291,6 +330,7 @@ impl Default for IdpConfig {
             label_model: LabelModelKind::Metal,
             end_model: LogRegConfig::default(),
             lfs_per_iteration: 1,
+            selection: SelectionStrategy::default(),
             seed: 0,
             checkpoint_every: None,
         }
@@ -324,6 +364,14 @@ mod tests {
         assert_eq!(cfg.lfs_per_iteration, 1);
         assert_eq!(cfg.label_model, LabelModelKind::Metal);
         assert_eq!(cfg.checkpoint_every, None);
+        assert_eq!(cfg.selection, SelectionStrategy::Seu);
+    }
+
+    #[test]
+    fn selection_strategy_names_stable() {
+        assert_eq!(SelectionStrategy::Seu.name(), "seu");
+        assert_eq!(SelectionStrategy::Iws.name(), "iws-rank");
+        assert_eq!(SelectionStrategy::default(), SelectionStrategy::Seu);
     }
 
     #[test]

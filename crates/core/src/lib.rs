@@ -15,7 +15,9 @@
 //!
 //! Plus the machinery around them: the reusable interactive [`session`]
 //! engine (incremental SEU aggregates, parallel scoring), the [`idp`] loop
-//! shared by all methods, [`pipeline`]s (standard vs contextualized
+//! shared by all methods, pluggable selection [`engines`] (SEU and the
+//! learned IWS candidate ranker as peers), [`pipeline`]s (standard vs
+//! contextualized
 //! learning), the simulated user [`oracle`] (Sec. 5.1), the ergonomic
 //! [`system`] facade, the multi-LF extension of Sec. 7 ([`multi_lf`]), and
 //! the multi-tenant serving layer — the immutable [`artifacts`] shared by
@@ -27,6 +29,7 @@ pub mod artifacts;
 pub mod checkpoint;
 pub mod config;
 pub mod contextualizer;
+pub mod engines;
 pub mod error;
 pub mod idp;
 pub mod multi_lf;
@@ -40,9 +43,10 @@ pub mod user_model;
 pub mod utility;
 
 pub use artifacts::SharedArtifacts;
-pub use checkpoint::SessionCheckpoint;
-pub use config::{ContextualizerConfig, IdpConfig, LabelModelKind};
+pub use checkpoint::{EngineState, SessionCheckpoint};
+pub use config::{ContextualizerConfig, IdpConfig, LabelModelKind, SelectionStrategy};
 pub use contextualizer::Contextualizer;
+pub use engines::{engine_for, IwsEngine, IwsEngineConfig, SelectionEngine, SeuEngine};
 pub use error::{RestoreError, SessionError};
 pub use idp::{
     IdpSession, LearningCurve, ModelOutputs, RandomSelector, SelectionView, Selector, StepRecord,

@@ -45,10 +45,10 @@ use std::time::Instant;
 use crate::artifacts::SharedArtifacts;
 use crate::checkpoint::SessionCheckpoint;
 use crate::config::{ContextualizerConfig, IdpConfig};
+use crate::engines::engine_for;
 use crate::error::{RestoreError, SessionError};
 use crate::idp::StepRecord;
 use crate::oracle::User;
-use crate::seu::SeuSelector;
 use crate::system::NemoSystem;
 use nemo_sparse::parallel;
 
@@ -354,10 +354,11 @@ impl<'a> SessionPool<'a> {
     /// store rejects the checkpoint.
     pub fn admit(&mut self, config: IdpConfig) -> Result<SessionId, PoolError> {
         self.make_room(1)?;
+        let engine = engine_for(&config);
         let system = Box::new(NemoSystem::with_components(
             self.artifacts.dataset(),
             config,
-            SeuSelector::new(),
+            engine,
             self.config.ctx.clone(),
         ));
         let id = SessionId(self.slots.len() as u64);
@@ -496,12 +497,7 @@ impl<'a> SessionPool<'a> {
             let mut system = match std::mem::replace(&mut cell.state, CellState::Failed) {
                 CellState::Live(system) => system,
                 CellState::Stored(ckpt) => {
-                    match NemoSystem::restore_with(
-                        artifacts.dataset(),
-                        &ckpt,
-                        SeuSelector::new(),
-                        ctx.clone(),
-                    ) {
+                    match NemoSystem::restore_with(artifacts.dataset(), &ckpt, ctx.clone()) {
                         Ok(system) => Box::new(system),
                         Err(source) => {
                             cell.error = Some(PoolError::Restore { id: cell.id.raw(), source });
@@ -732,14 +728,10 @@ impl<'a> SessionPool<'a> {
             op: "load",
             reason,
         })?;
-        let system = NemoSystem::restore_with(
-            self.artifacts.dataset(),
-            &ckpt,
-            SeuSelector::new(),
-            self.config.ctx.clone(),
-        )
-        .map(Box::new)
-        .map_err(|source| PoolError::Restore { id: id.raw(), source })?;
+        let system =
+            NemoSystem::restore_with(self.artifacts.dataset(), &ckpt, self.config.ctx.clone())
+                .map(Box::new)
+                .map_err(|source| PoolError::Restore { id: id.raw(), source })?;
         self.clock += 1;
         self.slots[id.index()] = Some(Slot::Resident { system, touch: self.clock });
         self.stats.restores += 1;

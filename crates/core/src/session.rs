@@ -395,8 +395,10 @@ impl<'a> Session<'a> {
         }
     }
 
-    /// The dataset this session runs on.
-    pub fn dataset(&self) -> &Dataset {
+    /// The dataset this session runs on. Returned at the dataset's own
+    /// lifetime (not the borrow's), so engines can hold it across
+    /// mutable session calls.
+    pub fn dataset(&self) -> &'a Dataset {
         self.ds
     }
 
@@ -438,6 +440,17 @@ impl<'a> Session<'a> {
     /// The incrementally-maintained SEU aggregates.
     pub fn aggregates(&self) -> &SeuAggregates {
         &self.cache
+    }
+
+    /// Mutable access to the session's deterministic RNG stream.
+    ///
+    /// Selection engines ([`crate::engines`]) draw their acquisition
+    /// randomness from here (never from an engine-private generator), so
+    /// every draw lives in the one stream the checkpoint captures — a
+    /// restored session replays the exact tail of draws the
+    /// uninterrupted one would have made.
+    pub fn rng_mut(&mut self) -> &mut DetRng {
+        &mut self.rng
     }
 
     /// A read-only selection view over the current state, exposing the
@@ -665,6 +678,7 @@ impl<'a> Session<'a> {
             rng_state,
             rng_gauss_spare,
             warm_seeds: Vec::new(),
+            engine: crate::checkpoint::EngineState::default(),
         }
     }
 

@@ -293,6 +293,15 @@ impl ScoreTable {
     pub fn is_empty(&self) -> bool {
         self.w.is_empty()
     }
+
+    /// The table row of one candidate LF `λ_{z,y}`: `(weight, weight ×
+    /// utility)`. This is the batched-candidate-evaluation hook the IWS
+    /// engine ([`crate::engines::IwsEngine`]) uses to fold SEU's
+    /// model-improvement utility into its candidate ranking without
+    /// re-deriving the aggregates.
+    pub fn lf_row(&self, z: u32, y: Label) -> (f64, f64) {
+        (self.w[z as usize][y.index()], self.wu[z as usize][y.index()])
+    }
 }
 
 /// Expected utility of a candidate from its primitive rows — the shared

@@ -1,15 +1,19 @@
 //! The Nemo system facade (paper Sec. 4, Figure 4).
 //!
-//! [`NemoSystem`] is the end-to-end system: the SEU development-data
-//! selector plus the contextualized learning pipeline, wrapped in an
-//! interactive API shaped like the paper's frontend loop:
+//! [`NemoSystem`] binds a [`Session`] to a pluggable selection engine
+//! ([`crate::engines`]) and the contextualized learning pipeline. The
+//! engine — SEU by default, the learned IWS candidate ranker via
+//! [`crate::config::SelectionStrategy::Iws`] — owns the interactive
+//! protocol; the facade exposes two frontends over it:
 //!
-//! 1. [`NemoSystem::suggest_example`] — the backend picks the next
-//!    development example.
-//! 2. The user (human or simulated) inspects it and writes an LF; the
-//!    caller passes it to [`NemoSystem::submit_lf`] (or
-//!    [`NemoSystem::skip`]).
-//! 3. Models are re-learned with development context; repeat.
+//! - the **round driver** ([`NemoSystem::step_with_user`] /
+//!   [`NemoSystem::run_with_user`]): one engine round per call, whatever
+//!   the engine's protocol asks of the user (author an LF for a chosen
+//!   example, or judge a proposed candidate);
+//! - the **manual loop** for engines that select examples:
+//!   [`NemoSystem::suggest_example`], then [`NemoSystem::submit_lf`] or
+//!   [`NemoSystem::skip`]. Engines that propose LF candidates themselves
+//!   report [`SessionError::EngineDriven`] here.
 //!
 //! The primitive-based example explorer of Sec. 7
 //! ([`NemoSystem::explore_primitive`]) lets a user inspect a random sample
@@ -18,42 +22,53 @@
 
 use crate::checkpoint::SessionCheckpoint;
 use crate::config::{ContextualizerConfig, IdpConfig};
+use crate::engines::{engine_for, SelectionEngine};
 use crate::error::{RestoreError, SessionError};
 use crate::idp::{LearningCurve, ModelOutputs, StepRecord};
 use crate::oracle::User;
 use crate::pipeline::ContextualizedPipeline;
 use crate::session::Session;
-use crate::seu::SeuSelector;
 use nemo_data::Dataset;
 use nemo_lf::{Lineage, PrimitiveLf};
 
-/// The end-to-end Nemo system (SEU + contextualized learning): a thin
-/// frontend driver over the [`Session`] engine, which owns the interactive
-/// state and the incrementally-maintained SEU aggregates.
+/// The end-to-end Nemo system (selection engine + contextualized
+/// learning): a thin frontend driver over the [`Session`] engine, which
+/// owns the interactive state and the incrementally-maintained SEU
+/// aggregates.
 pub struct NemoSystem<'a> {
     session: Session<'a>,
-    selector: SeuSelector,
+    engine: Box<dyn SelectionEngine>,
     pipeline: ContextualizedPipeline,
 }
 
 impl<'a> NemoSystem<'a> {
-    /// Create a Nemo instance over a dataset with default components.
+    /// Create a Nemo instance over a dataset; the selection engine
+    /// follows [`IdpConfig::selection`].
     pub fn new(ds: &'a Dataset, config: IdpConfig) -> Self {
-        Self::with_components(ds, config, SeuSelector::new(), ContextualizerConfig::default())
+        let engine = engine_for(&config);
+        Self::with_components(ds, config, engine, ContextualizerConfig::default())
     }
 
-    /// Create with explicit SEU/contextualizer settings (ablations).
+    /// Create with an explicit engine and contextualizer settings
+    /// (ablations: [`crate::engines::SeuEngine::with_selector`] for the
+    /// Table 6/7 user-model/utility variants, custom engines for new
+    /// strategies).
     pub fn with_components(
         ds: &'a Dataset,
         config: IdpConfig,
-        selector: SeuSelector,
+        engine: Box<dyn SelectionEngine>,
         ctx_config: ContextualizerConfig,
     ) -> Self {
         Self {
             session: Session::new(ds, config),
-            selector,
+            engine,
             pipeline: ContextualizedPipeline::new(ctx_config),
         }
+    }
+
+    /// The active selection engine.
+    pub fn engine(&self) -> &dyn SelectionEngine {
+        self.engine.as_ref()
     }
 
     /// The underlying engine state.
@@ -88,9 +103,15 @@ impl<'a> NemoSystem<'a> {
     /// # Errors
     ///
     /// [`SessionError::SuggestionPending`] if the previous suggestion has
-    /// not been resolved yet.
+    /// not been resolved yet; [`SessionError::EngineDriven`] if the
+    /// active engine proposes LF candidates itself (drive it with
+    /// [`NemoSystem::step_with_user`] instead).
     pub fn suggest_example(&mut self) -> Result<Option<usize>, SessionError> {
-        self.session.select_with(&mut self.selector)
+        let name = self.engine.name();
+        match self.engine.example_selector() {
+            Some(selector) => self.session.select_with(selector),
+            None => Err(SessionError::EngineDriven { engine: name }),
+        }
     }
 
     /// IDP stages 2–3: record an LF written from the pending example and
@@ -129,42 +150,22 @@ impl<'a> NemoSystem<'a> {
         self.session.test_score()
     }
 
-    /// Run one full interactive round: suggest the next development
-    /// example, let `user` develop LFs from it, submit them and re-learn —
-    /// or, once the example pool is exhausted, advance the frozen model by
-    /// one iteration. [`NemoSystem::run_with_user`] is a loop over this;
-    /// multi-tenant schedulers ([`crate::pool::SessionPool`]) call it
-    /// directly so rounds from many sessions can interleave.
+    /// Run one full interactive round of the active engine's protocol:
+    /// SEU suggests an example and lets `user` develop LFs from it; IWS
+    /// proposes its top-ranked candidate LF for `user` to judge. Either
+    /// way the round re-learns the models (or advances the frozen model
+    /// once the pool / candidate family is exhausted).
+    /// [`NemoSystem::run_with_user`] is a loop over this; multi-tenant
+    /// schedulers ([`crate::pool::SessionPool`]) call it directly so
+    /// rounds from many sessions can interleave.
     ///
     /// # Errors
     ///
     /// [`SessionError::SuggestionPending`] if a suggestion made through
     /// [`NemoSystem::suggest_example`] is still unresolved; the round
-    /// itself always resolves the suggestion it makes.
+    /// itself always resolves the reservations it makes.
     pub fn step_with_user(&mut self, user: &mut dyn User) -> Result<StepRecord, SessionError> {
-        let iteration = self.session.iteration();
-        let selected = self.suggest_example()?;
-        let new_lfs = match selected {
-            Some(x) => {
-                // Multi-LF submissions share the pending example; an
-                // empty answer consumes the iteration like a skip.
-                let lfs = self.session.develop(x, user);
-                self.session
-                    .submit(lfs.clone(), &mut self.pipeline)
-                    // invariant: users develop LFs over real primitives,
-                    // and `x` is the reservation this round just made.
-                    .expect("round submits its own suggestion");
-                lfs
-            }
-            None => {
-                // Pool exhausted: keep evaluating the frozen model.
-                // invariant: the suggestion above returned None, so no
-                // reservation exists.
-                self.session.advance_frozen().expect("no reservation outstanding");
-                Vec::new()
-            }
-        };
-        Ok(StepRecord { iteration, selected, new_lfs })
+        self.engine.round(&mut self.session, user, &mut self.pipeline)
     }
 
     /// Drive the full interactive loop with a (simulated) user for the
@@ -224,11 +225,14 @@ impl<'a> NemoSystem<'a> {
     pub fn checkpoint(&self) -> SessionCheckpoint {
         let mut ckpt = self.session.checkpoint();
         ckpt.warm_seeds = self.pipeline.contextualizer().warm_seeds().to_vec();
+        ckpt.engine = self.engine.checkpoint_state();
         ckpt
     }
 
-    /// Restore a system from a checkpoint with default components
-    /// (SEU selector, default contextualizer settings).
+    /// Restore a system from a checkpoint with default contextualizer
+    /// settings; the engine follows the checkpointed
+    /// [`IdpConfig::selection`] and resumes from the checkpoint's
+    /// engine-state section.
     ///
     /// Restoration validates every checkpoint field against `ds` before
     /// touching any state — a checkpoint from the wrong dataset (or a
@@ -254,36 +258,41 @@ impl<'a> NemoSystem<'a> {
     ///
     /// Any [`RestoreError`] from validating the checkpoint against `ds`.
     pub fn restore(ds: &'a Dataset, ckpt: &SessionCheckpoint) -> Result<Self, RestoreError> {
-        Self::restore_with(ds, ckpt, SeuSelector::new(), ContextualizerConfig::default())
+        Self::restore_with(ds, ckpt, ContextualizerConfig::default())
     }
 
-    /// Restore with explicit SEU/contextualizer settings (the counterpart
-    /// of [`NemoSystem::with_components`]). The contextualizer starts with
-    /// empty distance caches — its next learning round re-registers the
-    /// whole lineage in one batch, which is bit-identical to the
-    /// incremental registrations of the original run — and with the
-    /// checkpoint's warm-start seeds, so percentile tuning resumes from
-    /// the same EM state. Restored sessions therefore make the same
-    /// selections and produce the same model outputs as never-interrupted
-    /// ones (`tests/session_checkpoint.rs`).
+    /// Restore with explicit contextualizer settings (the counterpart of
+    /// [`NemoSystem::with_components`]). The engine is rebuilt from the
+    /// checkpointed [`IdpConfig::selection`] and handed the checkpoint's
+    /// engine-state section. The contextualizer starts with empty
+    /// distance caches — its next learning round re-registers the whole
+    /// lineage in one batch, which is bit-identical to the incremental
+    /// registrations of the original run — and with the checkpoint's
+    /// warm-start seeds, so percentile tuning resumes from the same EM
+    /// state. Restored sessions therefore make the same selections and
+    /// produce the same model outputs as never-interrupted ones
+    /// (`tests/session_checkpoint.rs`, `tests/iws_engine_differential.rs`).
     ///
     /// # Errors
     ///
     /// Any [`RestoreError`] from validating the checkpoint against `ds`;
-    /// [`RestoreError::ValueOutOfRange`] if a warm seed is non-finite.
+    /// [`RestoreError::ValueOutOfRange`] if a warm seed is non-finite;
+    /// [`RestoreError::EngineStateMismatch`] if the engine-state section
+    /// does not fit the configured engine.
     pub fn restore_with(
         ds: &'a Dataset,
         ckpt: &SessionCheckpoint,
-        selector: SeuSelector,
         ctx_config: ContextualizerConfig,
     ) -> Result<Self, RestoreError> {
         if ckpt.warm_seeds.iter().flatten().any(|s| !s.is_finite()) {
             return Err(RestoreError::ValueOutOfRange { field: "warm_seeds" });
         }
+        let mut engine = engine_for(&ckpt.config);
+        engine.restore_state(&ckpt.engine, ds)?;
         let session = Session::restore(ds, ckpt)?;
         let mut pipeline = ContextualizedPipeline::new(ctx_config);
         pipeline.contextualizer_mut().set_warm_seeds(ckpt.warm_seeds.clone());
-        Ok(Self { session, selector, pipeline })
+        Ok(Self { session, engine, pipeline })
     }
 }
 
@@ -414,5 +423,64 @@ mod tests {
             nemo.run_with_user(&mut user).points().to_vec()
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn iws_engine_rejects_the_manual_frontend() {
+        use crate::config::SelectionStrategy;
+        let ds = toy_text(1);
+        let config = IdpConfig { selection: SelectionStrategy::Iws, ..cfg(10, 1) };
+        let mut nemo = NemoSystem::new(&ds, config);
+        assert_eq!(nemo.engine().name(), "iws-rank");
+        assert_eq!(nemo.suggest_example(), Err(SessionError::EngineDriven { engine: "iws-rank" }));
+        // The round driver still works — and the frontend error left no
+        // reservation behind.
+        let mut user = SimulatedUser::default();
+        nemo.step_with_user(&mut user).expect("engine-driven round runs");
+        assert_eq!(nemo.iteration(), 1);
+    }
+
+    #[test]
+    fn iws_runs_end_to_end_and_restores_bit_identically() {
+        use crate::config::SelectionStrategy;
+        let ds = toy_text(1);
+        let config = IdpConfig {
+            selection: SelectionStrategy::Iws,
+            n_iterations: 8,
+            eval_every: 4,
+            seed: 21,
+            ..Default::default()
+        };
+        let mut original = NemoSystem::new(&ds, config);
+        let mut user = SimulatedUser::with_threshold(0.5);
+        for _ in 0..4 {
+            original.step_with_user(&mut user).unwrap();
+        }
+        let ckpt = original.checkpoint();
+        assert!(matches!(ckpt.engine, crate::checkpoint::EngineState::IwsV1 { .. }));
+        let mut resumed = NemoSystem::restore(&ds, &ckpt).expect("valid checkpoint restores");
+        assert_eq!(resumed.engine().name(), "iws-rank");
+        let mut fresh_user = SimulatedUser::with_threshold(0.5);
+        for _ in 4..8 {
+            let a = original.step_with_user(&mut user).unwrap();
+            let b = resumed.step_with_user(&mut fresh_user).unwrap();
+            assert_eq!(a.selected, b.selected);
+            assert_eq!(a.new_lfs, b.new_lfs);
+        }
+        assert_eq!(original.test_score().to_bits(), resumed.test_score().to_bits());
+    }
+
+    #[test]
+    fn restore_rejects_engine_state_from_the_wrong_engine() {
+        use crate::checkpoint::EngineState;
+        use crate::error::RestoreError;
+        let ds = toy_text(1);
+        let nemo = NemoSystem::new(&ds, cfg(10, 9));
+        let mut ckpt = nemo.checkpoint();
+        ckpt.engine = EngineState::IwsV1 { answers: vec![(0, true)] };
+        assert!(matches!(
+            NemoSystem::restore(&ds, &ckpt),
+            Err(RestoreError::EngineStateMismatch { engine: "seu", .. })
+        ));
     }
 }

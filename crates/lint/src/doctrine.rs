@@ -24,6 +24,7 @@ pub const SWITCH_REGISTRY: &[(&str, &str)] = &[
     ("WarmStart", "crates/core/src/config.rs"),
     ("RefinementCaching", "crates/core/src/config.rs"),
     ("PosteriorDedup", "crates/core/src/config.rs"),
+    ("SelectionStrategy", "crates/core/src/config.rs"),
     ("DenseBackend", "crates/sparse/src/dense.rs"),
 ];
 

@@ -57,13 +57,14 @@ impl MiniWorkspace {
              /// Switch.\npub enum SeuScoring { A, B }\n\
              /// Switch.\npub enum WarmStart { A, B }\n\
              /// Switch.\npub enum RefinementCaching { A, B }\n\
-             /// Switch.\npub enum PosteriorDedup { A, B }\n",
+             /// Switch.\npub enum PosteriorDedup { A, B }\n\
+             /// Switch.\npub enum SelectionStrategy { A, B }\n",
         );
         ws.write("crates/sparse/src/dense.rs", "/// Switch.\npub enum DenseBackend { A, B }\n");
         ws.write(
             "tests/differentials.rs",
             "// Exercises DistanceBackend, DenseBackend, SeuScoring, WarmStart,\n\
-             // RefinementCaching, and PosteriorDedup.\n",
+             // RefinementCaching, PosteriorDedup, and SelectionStrategy.\n",
         );
         ws.write("BENCH_kernel.json", "{\n  \"profile\": \"quick\",\n  \"seu_loop\": {}\n}\n");
         ws.write(
@@ -113,13 +114,33 @@ fn deleted_differential_test_is_caught() {
     ws.write(
         "tests/differentials.rs",
         "// Exercises DistanceBackend, DenseBackend, SeuScoring, WarmStart,\n\
-         // and RefinementCaching.\n",
+         // RefinementCaching, and SelectionStrategy.\n",
     );
     let got = ws.check();
     assert_eq!(
         got,
         vec![(RuleId::DoctrineSwitchDifferential, "crates/core/src/config.rs".to_string(), 10)],
         "PosteriorDedup (declared at line 10) lost its differential test"
+    );
+}
+
+#[test]
+fn selection_strategy_is_a_registered_switch() {
+    // Good case: the baseline fixture (and the real repo) exercise
+    // SelectionStrategy from tests/. Bad case: dropping the mention is a
+    // doctrine finding at the enum's declaration line.
+    let ws = MiniWorkspace::new("selection");
+    assert_eq!(ws.check(), vec![]);
+    ws.write(
+        "tests/differentials.rs",
+        "// Exercises DistanceBackend, DenseBackend, SeuScoring, WarmStart,\n\
+         // RefinementCaching, and PosteriorDedup.\n",
+    );
+    let got = ws.check();
+    assert_eq!(
+        got,
+        vec![(RuleId::DoctrineSwitchDifferential, "crates/core/src/config.rs".to_string(), 12)],
+        "SelectionStrategy (declared at line 12) lost its differential test"
     );
 }
 
@@ -133,12 +154,13 @@ fn unregistered_switch_is_caught() {
          /// Switch.\npub enum WarmStart { A, B }\n\
          /// Switch.\npub enum RefinementCaching { A, B }\n\
          /// Switch.\npub enum PosteriorDedup { A, B }\n\
+         /// Switch.\npub enum SelectionStrategy { A, B }\n\
          /// New switch nobody registered.\npub enum MysteryPath { Fast, Reference }\n",
     );
     let got = ws.check();
     assert_eq!(
         got,
-        vec![(RuleId::DoctrineUnregisteredSwitch, "crates/core/src/config.rs".to_string(), 12)]
+        vec![(RuleId::DoctrineUnregisteredSwitch, "crates/core/src/config.rs".to_string(), 14)]
     );
 }
 

@@ -12,7 +12,7 @@
 
 use std::path::Path;
 
-use nemo_core::{IdpConfig, LabelModelKind, SessionCheckpoint};
+use nemo_core::{EngineState, IdpConfig, LabelModelKind, SelectionStrategy, SessionCheckpoint};
 use nemo_endmodel::LogRegConfig;
 use nemo_lf::{Label, PrimitiveLf, TrackedLf};
 
@@ -28,7 +28,13 @@ mod section {
     pub const MATRIX: u32 = 4;
     pub const OUTPUTS: u32 = 5;
     pub const WARM: u32 = 6;
+    pub const ENGINE: u32 = 7;
 }
+
+/// On-disk layout version of the ENGINE section. Evolving an engine's
+/// persisted state means a new version (mapped to a new `EngineState`
+/// variant), never a silent layout change.
+const ENGINE_VERSION: u32 = 1;
 
 /// Serialize a checkpoint to its file image.
 pub fn session_to_bytes(ckpt: &SessionCheckpoint) -> Vec<u8> {
@@ -49,6 +55,10 @@ pub fn session_to_bytes(ckpt: &SessionCheckpoint) -> Vec<u8> {
     cfg.usize(ckpt.config.lfs_per_iteration);
     cfg.u64(ckpt.config.seed);
     cfg.opt_u64(ckpt.config.checkpoint_every.map(|k| k as u64));
+    cfg.u8(match ckpt.config.selection {
+        SelectionStrategy::Seu => 0,
+        SelectionStrategy::Iws => 1,
+    });
     b.section(section::CONFIG, cfg.into_bytes());
 
     let mut state = Enc::new();
@@ -97,6 +107,21 @@ pub fn session_to_bytes(ckpt: &SessionCheckpoint) -> Vec<u8> {
     }
     b.section(section::WARM, warm.into_bytes());
 
+    let mut eng = Enc::new();
+    eng.u32(ENGINE_VERSION);
+    match &ckpt.engine {
+        EngineState::Seu => eng.u8(0),
+        EngineState::IwsV1 { answers } => {
+            eng.u8(1);
+            eng.usize(answers.len());
+            for &(c, accept) in answers {
+                eng.u32(c);
+                eng.u8(accept as u8);
+            }
+        }
+    }
+    b.section(section::ENGINE, eng.into_bytes());
+
     b.into_bytes()
 }
 
@@ -122,6 +147,11 @@ pub fn session_from_bytes(bytes: &[u8]) -> Result<SessionCheckpoint, PersistErro
     let lfs_per_iteration = cfg.usize()?;
     let seed = cfg.u64()?;
     let checkpoint_every = cfg.opt_u64()?.map(to_usize).transpose()?;
+    let selection = match cfg.u8()? {
+        0 => SelectionStrategy::Seu,
+        1 => SelectionStrategy::Iws,
+        _ => return Err(PersistError::InvalidValue("selection-strategy tag must be 0 or 1")),
+    };
     cfg.finish()?;
     let config = IdpConfig {
         n_iterations,
@@ -131,6 +161,7 @@ pub fn session_from_bytes(bytes: &[u8]) -> Result<SessionCheckpoint, PersistErro
         lfs_per_iteration,
         seed,
         checkpoint_every,
+        selection,
     };
 
     let mut state = p.section(section::STATE, "STATE")?;
@@ -200,6 +231,30 @@ pub fn session_from_bytes(bytes: &[u8]) -> Result<SessionCheckpoint, PersistErro
         warm_seeds.push(warm.vec_f64()?);
     }
     warm.finish()?;
+
+    let mut eng = p.section(section::ENGINE, "ENGINE")?;
+    if eng.u32()? != ENGINE_VERSION {
+        return Err(PersistError::InvalidValue("unknown ENGINE section version"));
+    }
+    let engine = match eng.u8()? {
+        0 => EngineState::Seu,
+        1 => {
+            let n_answers = eng.usize()?;
+            // Each answer is 4 + 1 bytes; bound before allocating.
+            if n_answers.checked_mul(5).map_or(true, |b| b > eng.remaining()) {
+                return Err(PersistError::LengthOverflow);
+            }
+            let mut answers = Vec::with_capacity(n_answers);
+            for _ in 0..n_answers {
+                let c = eng.u32()?;
+                let accept = eng.presence()?;
+                answers.push((c, accept));
+            }
+            EngineState::IwsV1 { answers }
+        }
+        _ => return Err(PersistError::InvalidValue("engine-state tag must be 0 or 1")),
+    };
+    eng.finish()?;
     p.finish()?;
 
     Ok(SessionCheckpoint {
@@ -217,6 +272,7 @@ pub fn session_from_bytes(bytes: &[u8]) -> Result<SessionCheckpoint, PersistErro
         rng_state,
         rng_gauss_spare,
         warm_seeds,
+        engine,
     })
 }
 

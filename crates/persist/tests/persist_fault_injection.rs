@@ -83,6 +83,7 @@ fn tiny_session_bytes() -> Vec<u8> {
         rng_state: [1, 2, 3, 4],
         rng_gauss_spare: None,
         warm_seeds: vec![vec![0.25, 0.5]],
+        engine: nemo_core::EngineState::IwsV1 { answers: vec![(3, true), (7, false)] },
     };
     session_to_bytes(&ckpt)
 }
@@ -267,6 +268,7 @@ fn short_and_padded_payloads_with_valid_crc_fail_typed() {
     cfg.usize(1);
     cfg.u64(0);
     cfg.u8(0); // checkpoint_every: None
+    cfg.u8(0); // selection: Seu
     cfg.u8(0xEE); // padding byte inside the payload
     let mut b = FileBuilder::new(KIND_SESSION);
     b.section(1, cfg.into_bytes());
@@ -288,6 +290,7 @@ fn valid_config_payload() -> Vec<u8> {
     cfg.usize(1); // lfs_per_iteration
     cfg.u64(0); // seed
     cfg.u8(0); // checkpoint_every: None
+    cfg.u8(0); // selection: Seu
     cfg.into_bytes()
 }
 

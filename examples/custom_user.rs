@@ -11,12 +11,10 @@
 //! ```
 
 use nemo::core::multi_lf::multi_lf_selector;
-use nemo::core::oracle::User;
 use nemo::core::pipeline::ContextualizedPipeline;
-use nemo::core::{IdpConfig, IdpSession, NemoSystem};
+use nemo::core::IdpSession;
 use nemo::data::catalog::toy_text;
-use nemo::data::Dataset;
-use nemo::lf::PrimitiveLf;
+use nemo::prelude::*;
 use nemo::sparse::DetRng;
 
 /// A scripted expert: writes an LF only when the shown example contains

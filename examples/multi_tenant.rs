@@ -15,10 +15,8 @@
 
 use std::sync::Arc;
 
-use nemo::core::oracle::SimulatedUser;
-use nemo::core::{IdpConfig, PoolConfig, RoundJob, SessionPool, SharedArtifacts};
 use nemo::data::catalog;
-use nemo::data::{DatasetName, Profile};
+use nemo::prelude::*;
 
 fn main() {
     // 1. One immutable artifact set for every tenant. In production this

@@ -7,10 +7,8 @@
 //! ```
 
 use nemo::baselines::{run_method, Method, RunSpec};
-use nemo::core::oracle::SimulatedUser;
-use nemo::core::{IdpConfig, NemoSystem};
 use nemo::data::catalog;
-use nemo::data::{DatasetName, Profile};
+use nemo::prelude::*;
 
 fn main() {
     // 1. A dataset. The catalog regenerates the paper's six evaluation

@@ -11,12 +11,10 @@
 //! cargo run --release --example sentiment_products
 //! ```
 
-use nemo::core::config::ContextualizerConfig;
 use nemo::core::contextualizer::Contextualizer;
-use nemo::core::oracle::SimulatedUser;
 use nemo::data::catalog;
-use nemo::data::{DatasetName, Profile};
-use nemo::lf::{Label, LabelMatrix, LfColumn, Lineage};
+use nemo::lf::{LabelMatrix, LfColumn, Lineage};
+use nemo::prelude::*;
 
 fn main() {
     let dataset = catalog::build(DatasetName::Amazon, Profile::Smoke, 11);

@@ -8,9 +8,8 @@
 //! ```
 
 use nemo::baselines::{run_method, Method, RunSpec};
-use nemo::core::IdpConfig;
 use nemo::data::catalog;
-use nemo::data::{DatasetName, Profile};
+use nemo::prelude::*;
 use nemo::sparse::stats::mean;
 
 fn main() {

@@ -12,10 +12,8 @@
 //! ```
 
 use nemo::baselines::{run_method, Method, RunSpec};
-use nemo::core::oracle::SimulatedUser;
-use nemo::core::{IdpConfig, NemoSystem};
 use nemo::data::catalog;
-use nemo::data::{DatasetName, Profile};
+use nemo::prelude::*;
 
 fn main() {
     let dataset = catalog::build(DatasetName::Vg, Profile::Smoke, 31);

@@ -9,9 +9,8 @@
 //! ## Quick start
 //!
 //! ```
-//! use nemo::core::{IdpConfig, NemoSystem};
-//! use nemo::core::oracle::SimulatedUser;
 //! use nemo::data::catalog::toy_text;
+//! use nemo::prelude::*;
 //!
 //! // A small 4-cluster sentiment dataset (Figure 3's toy setting).
 //! let dataset = toy_text(42);
@@ -29,9 +28,8 @@
 //! Driving the loop with a *real* user instead:
 //!
 //! ```
-//! use nemo::core::{IdpConfig, NemoSystem};
 //! use nemo::data::catalog::toy_text;
-//! use nemo::lf::{Label, PrimitiveLf};
+//! use nemo::prelude::*;
 //!
 //! let dataset = toy_text(42);
 //! let mut nemo = NemoSystem::new(&dataset, IdpConfig::default());
@@ -50,6 +48,25 @@
 //! assert_eq!(nemo.lineage().len(), 1);
 //! ```
 //!
+//! ## Selection engines
+//!
+//! Who drives each round is a config switch: [`core::SelectionStrategy`]
+//! on [`core::IdpConfig`] picks the [`core::SelectionEngine`] — `Seu`
+//! (the reference: SEU example selection, the user writes the LF) or
+//! `Iws` (a learned candidate ranker that proposes LFs and learns from
+//! accept/reject feedback). Both plug into `NemoSystem`, `SessionPool`,
+//! and checkpointing unchanged:
+//!
+//! ```
+//! use nemo::data::catalog::toy_text;
+//! use nemo::prelude::*;
+//!
+//! let dataset = toy_text(42);
+//! let config = IdpConfig { selection: SelectionStrategy::Iws, ..Default::default() };
+//! let mut nemo = NemoSystem::new(&dataset, config);
+//! nemo.step_with_user(&mut SimulatedUser::default()).unwrap();
+//! ```
+//!
 //! ## Multi-tenant serving
 //!
 //! Production deployments run many users against one immutable artifact
@@ -59,8 +76,8 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use nemo::core::{IdpConfig, PoolConfig, SessionPool, SharedArtifacts, SimulatedUser};
 //! use nemo::data::catalog::toy_text;
+//! use nemo::prelude::*;
 //!
 //! let artifacts = Arc::new(SharedArtifacts::new(toy_text(42)));
 //! let mut pool = SessionPool::new(&artifacts, PoolConfig::default());
@@ -84,6 +101,8 @@
 //! | [`persist`] | `nemo-persist` | crash-safe dataset artifact store, session checkpoint files, durable pool checkpoint stores |
 
 #![warn(missing_docs)]
+
+pub mod prelude;
 
 pub use nemo_baselines as baselines;
 pub use nemo_core as core;

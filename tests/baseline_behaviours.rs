@@ -103,6 +103,7 @@ fn al_runner_exhausts_pool_gracefully() {
         seed: 1,
         ..Default::default()
     };
+    #[allow(deprecated)] // drives the shim directly to pin pool-exhaustion behaviour
     let curve = ActiveLearning::new(UncertaintyAcquisition).run(&ds, &config);
     assert_eq!(curve.points().len(), 1);
     // With every label revealed, AL ≈ fully supervised: decisively

@@ -1,0 +1,259 @@
+//! Differential tests for the `SelectionStrategy` switch: the IWS
+//! selection engine (`SelectionStrategy::Iws`) must be deterministic and
+//! resumable exactly like the reference SEU engine
+//! (`SelectionStrategy::Seu`).
+//!
+//! The engine's contract (`nemo_core::engines`): acquisition draws come
+//! from the session's checkpointed RNG and the bootstrap committee is a
+//! pure function of the config seed and the answer log, so
+//!
+//! - two runs with one seed are bit-identical under any `NEMO_THREADS`
+//!   (the CI serial/multicore legs re-run this suite under 1 and 4);
+//! - a run checkpointed and restored at any round boundary — through the
+//!   in-memory struct or the `nemo-persist` byte codec — retraces the
+//!   uninterrupted run bit-for-bit;
+//! - pooled sessions under `SessionPool` eviction churn retrace their
+//!   standalone runs bit-for-bit, including through a real file store.
+
+use std::sync::Arc;
+
+use nemo::core::pool::{PoolConfig, RoundJob, SessionPool};
+use nemo::core::{
+    EngineState, IdpConfig, NemoSystem, SelectionStrategy, SharedArtifacts, SimulatedUser,
+};
+use nemo::data::catalog::toy_text;
+use nemo::persist::{session_from_bytes, session_to_bytes, FileCheckpointStore};
+use proptest::prelude::*;
+
+/// Everything an IWS run observably produces.
+#[derive(Debug, Clone, PartialEq)]
+struct Trace {
+    /// Anchor example reserved each round (`None` = family exhausted).
+    selections: Vec<Option<usize>>,
+    /// Accepted-candidate count after each round.
+    accepted: Vec<usize>,
+    /// Final train-posterior bits.
+    posterior_bits: Vec<u64>,
+    /// Final test score bits.
+    test_bits: u64,
+}
+
+fn iws_cfg(rounds: usize, seed: u64) -> IdpConfig {
+    IdpConfig {
+        selection: SelectionStrategy::Iws,
+        n_iterations: rounds.max(2),
+        eval_every: 2,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn user() -> SimulatedUser {
+    // Permissive enough that the toy family yields accepts and rejects.
+    SimulatedUser::with_threshold(0.55)
+}
+
+/// The reference: one uninterrupted `NemoSystem` run.
+fn standalone_trace(arts: &SharedArtifacts, cfg: &IdpConfig, rounds: usize) -> Trace {
+    let mut nemo = NemoSystem::new(arts.dataset(), cfg.clone());
+    let mut u = user();
+    let mut selections = Vec::new();
+    let mut accepted = Vec::new();
+    for _ in 0..rounds {
+        let rec = nemo.step_with_user(&mut u).expect("standalone loop resolves reservations");
+        selections.push(rec.selected);
+        accepted.push(nemo.lineage().len());
+    }
+    Trace {
+        selections,
+        accepted,
+        posterior_bits: nemo
+            .outputs()
+            .train_posterior
+            .p_pos_slice()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect(),
+        test_bits: nemo.test_score().to_bits(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Checkpoint at any round boundary — optionally bounced through the
+    /// persist byte codec — and the resumed run retraces the original.
+    #[test]
+    fn restore_mid_stream_is_bit_identical(
+        seed in 0u64..200,
+        rounds in 4usize..=7,
+        cut in 1usize..=3,
+        through_bytes in proptest::bool::ANY,
+    ) {
+        let arts = SharedArtifacts::new(toy_text(2));
+        let cfg = iws_cfg(rounds, 3000 + seed);
+        let want = standalone_trace(&arts, &cfg, rounds);
+
+        let mut nemo = NemoSystem::new(arts.dataset(), cfg.clone());
+        let mut u = user();
+        for _ in 0..cut.min(rounds) {
+            nemo.step_with_user(&mut u).expect("pre-cut rounds run");
+        }
+        let ckpt = if through_bytes {
+            session_from_bytes(&session_to_bytes(&nemo.checkpoint())).expect("codec roundtrip")
+        } else {
+            nemo.checkpoint()
+        };
+        prop_assert!(matches!(ckpt.engine, EngineState::IwsV1 { .. }));
+
+        let mut resumed = NemoSystem::restore(arts.dataset(), &ckpt).expect("restore");
+        let mut fresh = user();
+        let mut selections = Vec::new();
+        let mut accepted = Vec::new();
+        for _ in 0..cut.min(rounds) {
+            // The resumed trace reuses the prefix the original produced.
+            selections.push(want.selections[selections.len()]);
+            accepted.push(want.accepted[accepted.len()]);
+        }
+        for _ in cut.min(rounds)..rounds {
+            let rec = resumed.step_with_user(&mut fresh).expect("resumed rounds run");
+            selections.push(rec.selected);
+            accepted.push(resumed.lineage().len());
+        }
+        let got = Trace {
+            selections,
+            accepted,
+            posterior_bits: resumed
+                .outputs()
+                .train_posterior
+                .p_pos_slice()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect(),
+            test_bits: resumed.test_score().to_bits(),
+        };
+        prop_assert_eq!(&got, &want, "resume diverged (seed {} cut {})", seed, cut);
+    }
+
+    /// Pooled IWS sessions under eviction churn and pinned worker counts
+    /// {1, 4} retrace their standalone runs bit-for-bit.
+    #[test]
+    fn pooled_iws_rounds_are_bit_identical_to_isolated_runs(
+        seed in 0u64..100,
+        k in 2usize..=3,
+        rounds in 3usize..=4,
+        max_resident in 1usize..=2,
+        wide in proptest::bool::ANY,
+    ) {
+        let workers = if wide { 4usize } else { 1 };
+        let arts = Arc::new(SharedArtifacts::new(toy_text(2)));
+        let cfgs: Vec<IdpConfig> =
+            (0..k as u64).map(|j| iws_cfg(rounds, 5000 + seed * 13 + j)).collect();
+        let pool_config =
+            PoolConfig { max_resident, workers: Some(workers), ..Default::default() };
+        let mut pool = SessionPool::new(&arts, pool_config);
+        let ids: Vec<_> = cfgs.iter().map(|c| pool.admit(c.clone()).expect("admit")).collect();
+        let mut users: Vec<SimulatedUser> = (0..k).map(|_| user()).collect();
+        let mut selections: Vec<Vec<Option<usize>>> = vec![Vec::new(); k];
+
+        for round in 0..rounds {
+            // Rotate the visit order so neighbors and LRU pressure vary.
+            let order: Vec<usize> = (0..k).map(|j| (j + round) % k).collect();
+            let mut handles: Vec<(usize, &mut SimulatedUser)> =
+                users.iter_mut().enumerate().collect();
+            handles.sort_by_key(|(j, _)| order.iter().position(|o| o == j).unwrap());
+            let mut jobs: Vec<RoundJob<'_>> =
+                handles.into_iter().map(|(j, u)| RoundJob::new(ids[j], u)).collect();
+            let outcomes = pool.run_rounds(&mut jobs).expect("batch runs");
+            for (pos, outcome) in outcomes.iter().enumerate() {
+                selections[order[pos]].push(outcome.record.selected);
+            }
+        }
+        if max_resident < k {
+            prop_assert!(pool.stats().evictions > 0, "undersized pool must evict");
+        }
+        for (j, cfg) in cfgs.iter().enumerate() {
+            let want = standalone_trace(&arts, cfg, rounds);
+            prop_assert_eq!(&selections[j], &want.selections, "session {} diverged", j);
+            let got: Vec<u64> = pool
+                .with_session(ids[j], |nemo| {
+                    nemo.outputs()
+                        .train_posterior
+                        .p_pos_slice()
+                        .iter()
+                        .map(|p| p.to_bits())
+                        .collect()
+                })
+                .expect("session readable");
+            prop_assert_eq!(&got, &want.posterior_bits, "session {} posterior diverged", j);
+        }
+    }
+}
+
+/// Same seed, two runs: bit-identical. The CI serial/multicore legs run
+/// this under `NEMO_THREADS` 1 and 4, pinning the committee's parallel
+/// member fits to one result.
+#[test]
+fn ambient_thread_count_does_not_change_iws_traces() {
+    let arts = SharedArtifacts::new(toy_text(5));
+    let cfg = iws_cfg(6, 42);
+    assert_eq!(standalone_trace(&arts, &cfg, 6), standalone_trace(&arts, &cfg, 6));
+}
+
+/// Pooled IWS sessions bounced through a real `nemo-persist` file store
+/// mid-stream (explicit evictions every round) still retrace their
+/// standalone runs — the ENGINE checkpoint section round-trips through
+/// disk.
+#[test]
+fn file_store_evict_restore_mid_stream_is_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("nemo-iws-difftest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let arts = Arc::new(SharedArtifacts::new(toy_text(3)));
+    let cfgs: Vec<IdpConfig> = (0..3u64).map(|j| iws_cfg(5, 7700 + j)).collect();
+    let rounds = 5;
+
+    let pool_config = PoolConfig { max_resident: 2, workers: Some(2), ..Default::default() };
+    let store = Box::new(FileCheckpointStore::new(&dir));
+    let mut pool = SessionPool::with_store(&arts, pool_config, store);
+    let ids: Vec<_> = cfgs.iter().map(|c| pool.admit(c.clone()).unwrap()).collect();
+    let mut users: Vec<SimulatedUser> = (0..3).map(|_| user()).collect();
+    let mut selections: Vec<Vec<Option<usize>>> = vec![Vec::new(); 3];
+
+    for round in 0..rounds {
+        for (j, &id) in ids.iter().enumerate() {
+            let rec = pool.run_round(id, &mut users[j]).unwrap();
+            selections[j].push(rec.selected);
+        }
+        let victim = ids[round % ids.len()];
+        pool.evict(victim).unwrap();
+        assert!(!pool.is_resident(victim));
+    }
+    assert!(pool.stats().restores > 0);
+
+    for (j, cfg) in cfgs.iter().enumerate() {
+        let want = standalone_trace(&arts, cfg, rounds);
+        assert_eq!(selections[j], want.selections, "session {j} selections diverged");
+        let got_test = pool.with_session(ids[j], |nemo| nemo.test_score().to_bits()).unwrap();
+        assert_eq!(got_test, want.test_bits, "session {j} test score diverged");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The switch's reference path stays the default: `SelectionStrategy::Seu`
+/// is what an unconfigured session runs, and the two strategies genuinely
+/// differ in behavior on the same seed.
+#[test]
+fn seu_is_the_reference_and_iws_actually_diverges_from_it() {
+    let arts = SharedArtifacts::new(toy_text(2));
+    assert_eq!(IdpConfig::default().selection, SelectionStrategy::Seu);
+
+    let seu_cfg = IdpConfig { n_iterations: 6, eval_every: 2, seed: 4, ..Default::default() };
+    let mut seu = NemoSystem::new(arts.dataset(), seu_cfg);
+    let mut iws = NemoSystem::new(arts.dataset(), iws_cfg(6, 4));
+    let mut u1 = user();
+    let mut u2 = user();
+    let a: Vec<_> = (0..6).map(|_| seu.step_with_user(&mut u1).unwrap().selected).collect();
+    let b: Vec<_> = (0..6).map(|_| iws.step_with_user(&mut u2).unwrap().selected).collect();
+    assert_ne!(a, b, "the two engines must not be the same strategy in disguise");
+}
